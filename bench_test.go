@@ -1,0 +1,478 @@
+// Package impact's root benchmark harness regenerates every table of
+// the paper (Tables 1-9) and the ablation studies as Go benchmarks —
+// one benchmark per table, as the repository's DESIGN.md experiment
+// index specifies.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The dynamic trace scale defaults to 0.25 of the full experiment (a
+// few hundred thousand to ~1.5M instructions per benchmark); set
+// IMPACT_BENCH_SCALE=1.0 for full-length traces.
+//
+// Each benchmark reports the headline number of its table as a custom
+// metric so trends are visible straight from the bench output:
+//
+//	miss2K%    suite-average miss ratio at 2KB/64B (Tables 6/7 rows)
+//	traffic2K% suite-average traffic ratio
+package impact
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"impact/internal/experiments"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		scale := 0.25
+		if env := os.Getenv("IMPACT_BENCH_SCALE"); env != "" {
+			if v, err := strconv.ParseFloat(env, 64); err == nil && v > 0 {
+				scale = v
+			}
+		}
+		suite, suiteErr = experiments.Prepare(scale)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+// BenchmarkTable1DesignTarget regenerates Table 1: Smith's design
+// target miss ratios vs. the measured fully associative baseline and
+// the optimized direct-mapped cache.
+func BenchmarkTable1DesignTarget(b *testing.B) {
+	s := benchSuite(b)
+	var last []experiments.Table1Cell
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Table1(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = cells
+	}
+	b.StopTimer()
+	for _, c := range last {
+		if c.CacheBytes == 2048 && c.BlockBytes == 64 {
+			b.ReportMetric(c.OptimizedDM*100, "optDM2K/64miss%")
+			b.ReportMetric(c.Smith*100, "smith2K/64miss%")
+		}
+	}
+}
+
+// BenchmarkTable2Profile regenerates Table 2: benchmark profile
+// characteristics.
+func BenchmarkTable2Profile(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table2(s)
+	}
+	b.StopTimer()
+	var instrs uint64
+	for _, r := range rows {
+		instrs += r.Instructions
+	}
+	b.ReportMetric(float64(instrs)/1e6, "profiledMinstrs")
+}
+
+// BenchmarkTable3Inline regenerates Table 3: inline expansion results.
+func BenchmarkTable3Inline(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table3(s)
+	}
+	b.StopTimer()
+	var dec float64
+	for _, r := range rows {
+		dec += r.CallDec
+	}
+	b.ReportMetric(dec/float64(len(rows))*100, "avgCallDec%")
+}
+
+// BenchmarkTable4TraceSelect regenerates Table 4: trace selection
+// results.
+func BenchmarkTable4TraceSelect(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var rows []experiments.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table4(s)
+	}
+	b.StopTimer()
+	var des float64
+	for _, r := range rows {
+		des += r.Desirable
+	}
+	b.ReportMetric(des/float64(len(rows))*100, "avgDesirable%")
+}
+
+// BenchmarkTable5Sizes regenerates Table 5: static and dynamic code
+// sizes.
+func BenchmarkTable5Sizes(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var rows []experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table5(s)
+	}
+	b.StopTimer()
+	var eff, total int
+	for _, r := range rows {
+		eff += r.EffectiveStaticBytes
+		total += r.TotalStaticBytes
+	}
+	b.ReportMetric(float64(eff)/float64(total)*100, "effective%")
+}
+
+// BenchmarkTable6CacheSize regenerates Table 6: miss and traffic vs
+// cache size (64B blocks, direct-mapped, optimized layout).
+func BenchmarkTable6CacheSize(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.Table6Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var m, tr float64
+	for _, r := range rows {
+		m += r.Results[2048].Miss
+		tr += r.Results[2048].Traffic
+	}
+	n := float64(len(rows))
+	b.ReportMetric(m/n*100, "miss2K%")
+	b.ReportMetric(tr/n*100, "traffic2K%")
+}
+
+// BenchmarkTable7BlockSize regenerates Table 7: miss and traffic vs
+// block size (2KB cache, direct-mapped, optimized layout).
+func BenchmarkTable7BlockSize(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.Table7Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var m16, m128 float64
+	for _, r := range rows {
+		m16 += r.Results[16].Miss
+		m128 += r.Results[128].Miss
+	}
+	n := float64(len(rows))
+	b.ReportMetric(m16/n*100, "miss16B%")
+	b.ReportMetric(m128/n*100, "miss128B%")
+}
+
+// BenchmarkTable8Traffic regenerates Table 8: block sectoring and
+// partial loading.
+func BenchmarkTable8Traffic(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.Table8Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var secT, parT float64
+	for _, r := range rows {
+		secT += r.Sector.Traffic
+		parT += r.Partial.Traffic
+	}
+	n := float64(len(rows))
+	b.ReportMetric(secT/n*100, "sectorTraffic%")
+	b.ReportMetric(parT/n*100, "partialTraffic%")
+}
+
+// BenchmarkTable9CodeScaling regenerates Table 9: the code scaling
+// experiment. This re-runs the entire pipeline per scale factor, so it
+// is the most expensive table.
+func BenchmarkTable9CodeScaling(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.Table9Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var lo, hi float64
+	for _, r := range rows {
+		lo += r.Results[0.5].Miss
+		hi += r.Results[1.1].Miss
+	}
+	n := float64(len(rows))
+	b.ReportMetric(lo/n*100, "miss@0.5%")
+	b.ReportMetric(hi/n*100, "miss@1.1%")
+}
+
+// BenchmarkAblationLayoutStrategy runs ablation A1: natural vs random
+// vs partial pipelines vs the full pipeline.
+func BenchmarkAblationLayoutStrategy(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.AblationLayoutRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationLayout(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var full, nat float64
+	for _, r := range rows {
+		full += r.Miss["full"]
+		nat += r.Miss["natural"]
+	}
+	n := float64(len(rows))
+	b.ReportMetric(full/n*100, "fullMiss2K%")
+	b.ReportMetric(nat/n*100, "naturalMiss2K%")
+}
+
+// BenchmarkAblationAssociativity runs ablation A2: the optimized
+// direct-mapped cache vs higher associativities on both layouts.
+func BenchmarkAblationAssociativity(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.AblationAssocRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationAssoc(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var optDM, natFA float64
+	for _, r := range rows {
+		optDM += r.Optimized[1]
+		natFA += r.Natural[0]
+	}
+	n := float64(len(rows))
+	b.ReportMetric(optDM/n*100, "optDMmiss%")
+	b.ReportMetric(natFA/n*100, "natFAmiss%")
+}
+
+// BenchmarkAblationMinProb runs ablation A3: MIN_PROB sensitivity on a
+// three-benchmark subset (it re-runs the pipeline per threshold).
+func BenchmarkAblationMinProb(b *testing.B) {
+	s := benchSuite(b)
+	small := &experiments.Suite{Items: []*experiments.Prepared{
+		s.Items[0], s.Items[3], s.Items[9],
+	}}
+	var rows []experiments.AblationMinProbRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationMinProb(small)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var at07 float64
+	for _, r := range rows {
+		at07 += r.Miss[0.7]
+	}
+	b.ReportMetric(at07/float64(len(rows))*100, "miss@0.7%")
+}
+
+// BenchmarkAblationGlobalLayout runs ablation A4: the DFS global
+// function order vs declaration order, with everything else fixed.
+func BenchmarkAblationGlobalLayout(b *testing.B) {
+	s := benchSuite(b)
+	var withDFS, withoutDFS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, wo, err := experiments.AblationGlobal(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withDFS, withoutDFS = w, wo
+	}
+	b.StopTimer()
+	b.ReportMetric(withDFS*100, "dfsMiss2K%")
+	b.ReportMetric(withoutDFS*100, "declOrderMiss2K%")
+}
+
+// BenchmarkExtTiming runs extension E1: effective access time under
+// the section 4.2.1 timing model across block sizes.
+func BenchmarkExtTiming(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.TimingRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExtTiming(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var fwd64 float64
+	for _, r := range rows {
+		fwd64 += r.ForwardEAT[64]
+	}
+	b.ReportMetric(fwd64/float64(len(rows)), "eat64Bcycles")
+}
+
+// BenchmarkExtPaging runs extension E2: instruction paging footprint
+// and working sets for both layouts.
+func BenchmarkExtPaging(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.PagingRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExtPaging(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var opt, nat float64
+	for _, r := range rows {
+		opt += float64(r.OptPages)
+		nat += float64(r.NatPages)
+	}
+	n := float64(len(rows))
+	b.ReportMetric(opt/n, "optPages")
+	b.ReportMetric(nat/n, "natPages")
+}
+
+// BenchmarkExtPrefetch runs extension E3: next-block prefetch vs plain
+// demand fetch on the optimized layout.
+func BenchmarkExtPrefetch(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.PrefetchRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExtPrefetch(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var acc float64
+	for _, r := range rows {
+		acc += r.Accuracy
+	}
+	b.ReportMetric(acc/float64(len(rows))*100, "pfAccuracy%")
+}
+
+// BenchmarkExtHierarchy runs extension E4: the two-level cache
+// hierarchy on both layouts.
+func BenchmarkExtHierarchy(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.HierarchyRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExtHierarchy(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var g float64
+	for _, r := range rows {
+		g += r.OptGlobal
+	}
+	b.ReportMetric(g/float64(len(rows))*100, "optGlobalMiss%")
+}
+
+// BenchmarkExtExtendedSuite runs extension E5: the >30-program
+// expansion the paper announces, at a reduced scale (the prepare step
+// runs the whole pipeline per benchmark).
+func BenchmarkExtExtendedSuite(b *testing.B) {
+	var rows []experiments.ExtendedRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExtExtendedSuite(0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var m float64
+	for _, r := range rows {
+		m += r.OptMiss
+	}
+	b.ReportMetric(m/float64(len(rows))*100, "optMiss2K%")
+}
+
+// BenchmarkAblationReplacement runs ablation A5: LRU vs FIFO vs random
+// replacement on the optimized layout.
+func BenchmarkAblationReplacement(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.AblationReplacementRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationReplacement(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = rows
+}
+
+// BenchmarkAblationGlobalAlgo runs ablation A6: the Appendix DFS
+// global order vs Pettis-Hansen chain merging.
+func BenchmarkAblationGlobalAlgo(b *testing.B) {
+	s := benchSuite(b)
+	var rows []experiments.AblationGlobalAlgoRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationGlobalAlgo(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var d, p float64
+	for _, r := range rows {
+		d += r.DFSMiss
+		p += r.PHMiss
+	}
+	n := float64(len(rows))
+	b.ReportMetric(d/n*100, "dfsMiss%")
+	b.ReportMetric(p/n*100, "phMiss%")
+}

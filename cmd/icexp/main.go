@@ -1,0 +1,150 @@
+// Command icexp regenerates every table of the paper's evaluation
+// (Tables 1-9) plus the ablation studies, printing them in the paper's
+// row structure.
+//
+// Usage:
+//
+//	icexp [-scale 1.0] [-tables 1,2,3,...] [-ablations]
+//
+// -scale multiplies the dynamic trace lengths (1.0 reproduces the
+// default experiment; smaller values give quick approximate runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"impact/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dynamic trace length multiplier")
+	tables := flag.String("tables", "1,2,3,4,5,6,7,8,9", "comma-separated table numbers to produce")
+	ablations := flag.Bool("ablations", false, "also run the ablation studies (A1-A3, A5, A6; A4 is bench-only)")
+	extensions := flag.Bool("extensions", false, "also run the extension experiments (E1 timing, E2 paging, E3 prefetch, E4 hierarchy, E5 extended suite)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, t := range strings.Split(*tables, ",") {
+		want[strings.TrimSpace(t)] = true
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "preparing benchmark suite (scale %.2f)...\n", *scale)
+	suite, err := experiments.Prepare(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "suite prepared in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if want["1"] {
+		cells, err := experiments.Table1(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderTable1(cells))
+	}
+	if want["2"] {
+		fmt.Println(experiments.RenderTable2(experiments.Table2(suite)))
+	}
+	if want["3"] {
+		fmt.Println(experiments.RenderTable3(experiments.Table3(suite)))
+	}
+	if want["4"] {
+		fmt.Println(experiments.RenderTable4(experiments.Table4(suite)))
+	}
+	if want["5"] {
+		fmt.Println(experiments.RenderTable5(experiments.Table5(suite)))
+	}
+	if want["6"] {
+		rows, err := experiments.Table6(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderTable6(rows))
+	}
+	if want["7"] {
+		rows, err := experiments.Table7(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderTable7(rows))
+	}
+	if want["8"] {
+		rows, err := experiments.Table8(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderTable8(rows))
+	}
+	if want["9"] {
+		rows, err := experiments.Table9(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderTable9(rows))
+	}
+	if *ablations {
+		a1, err := experiments.AblationLayout(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderAblationLayout(a1))
+		a2, err := experiments.AblationAssoc(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderAblationAssoc(a2))
+		a3, err := experiments.AblationMinProb(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderAblationMinProb(a3))
+		a5, err := experiments.AblationReplacement(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderAblationReplacement(a5))
+		a6, err := experiments.AblationGlobalAlgo(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderAblationGlobalAlgo(a6))
+	}
+	if *extensions {
+		e1, err := experiments.ExtTiming(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderExtTiming(e1))
+		e2, err := experiments.ExtPaging(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderExtPaging(e2))
+		e3, err := experiments.ExtPrefetch(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderExtPrefetch(e3))
+		e4, err := experiments.ExtHierarchy(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderExtHierarchy(e4))
+		e5, err := experiments.ExtExtendedSuite(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderExtExtendedSuite(e5))
+	}
+	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icexp:", err)
+	os.Exit(1)
+}

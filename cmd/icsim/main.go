@@ -1,0 +1,73 @@
+// Command icsim runs the instruction cache simulator over a saved
+// trace file (written by `impact trace`).
+//
+// Usage:
+//
+//	icsim -trace prog.itr [-size 2048] [-block 64] [-assoc 1]
+//	      [-sector 0] [-partial]
+//
+// It prints the miss ratio, memory traffic ratio, and (for partial
+// loading) the paper's avg.fetch and avg.exec metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"impact/internal/cache"
+	"impact/internal/memtrace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file (required)")
+	size := flag.Int("size", 2048, "cache size in bytes")
+	block := flag.Int("block", 64, "block size in bytes")
+	assoc := flag.Int("assoc", 1, "associativity (0 = fully associative)")
+	sector := flag.Int("sector", 0, "sector size in bytes (0 = whole-block fill)")
+	partial := flag.Bool("partial", false, "partial loading (fill from miss word to block end)")
+	flag.Parse()
+
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := memtrace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := cache.Config{
+		SizeBytes:   *size,
+		BlockBytes:  *block,
+		Assoc:       *assoc,
+		SectorBytes: *sector,
+		PartialLoad: *partial,
+	}
+	stats, err := cache.Simulate(cfg, tr)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace:    %s (%d instruction fetches, %d runs)\n", *tracePath, tr.Instrs, len(tr.Runs))
+	fmt.Printf("cache:    %s\n", cfg)
+	fmt.Printf("misses:   %d\n", stats.Misses)
+	fmt.Printf("miss:     %.4f%%\n", stats.MissRatio()*100)
+	fmt.Printf("traffic:  %.4f%%\n", stats.TrafficRatio()*100)
+	if *partial || *sector != 0 {
+		fmt.Printf("avg.fetch: %.1f words\n", stats.AvgFetchWords())
+	}
+	if stats.ExecRuns > 0 {
+		fmt.Printf("avg.exec:  %.1f instructions\n", stats.AvgExecWords())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icsim:", err)
+	os.Exit(1)
+}

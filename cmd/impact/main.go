@@ -1,0 +1,416 @@
+// Command impact drives the IMPACT-I instruction placement pipeline
+// over the synthetic benchmark suite.
+//
+// Subcommands:
+//
+//	impact list
+//	    List the available benchmarks and their characteristics.
+//
+//	impact profile -bench <name> [-scale 1.0]
+//	    Profile a benchmark and print its weighted call graph summary.
+//
+//	impact layout -bench <name> [-scale 1.0] [-strategy full|natural|...]
+//	    Run the placement pipeline and print the memory layout.
+//
+//	impact trace -bench <name> -o <file> [-scale 1.0] [-strategy ...]
+//	    Write the evaluation instruction-fetch trace to a file (for
+//	    icsim).
+//
+//	impact simulate -bench <name> [-scale 1.0] [cache flags]
+//	    End to end: place, trace, and simulate one benchmark,
+//	    comparing the optimized layout against the natural baseline.
+//
+//	impact dump -bench <name> [-o <file>] [-inlined]
+//	    Write the benchmark program in the textual IR format
+//	    (optionally after inline expansion).
+//
+//	impact run -ir <file> [-seeds 1,2,3,4] [-eval 99] [cache flags]
+//	    Run the whole pipeline on a user-supplied program in the
+//	    textual IR format (see docs/FORMATS.md) and compare the
+//	    optimized layout against the natural baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"impact/internal/cache"
+	"impact/internal/core"
+	"impact/internal/interp"
+	"impact/internal/ir"
+	"impact/internal/layout"
+	"impact/internal/memtrace"
+	"impact/internal/profile"
+	"impact/internal/texttable"
+	"impact/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList()
+	case "profile":
+		cmdProfile(os.Args[2:])
+	case "layout":
+		cmdLayout(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
+	case "simulate":
+		cmdSimulate(os.Args[2:])
+	case "dump":
+		cmdDump(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: impact {list|profile|layout|trace|simulate|dump|run} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "impact:", err)
+	os.Exit(1)
+}
+
+func benchFlag(fs *flag.FlagSet) (*string, *float64) {
+	name := fs.String("bench", "", "benchmark name (see `impact list`)")
+	scale := fs.Float64("scale", 1.0, "dynamic trace length multiplier")
+	return name, scale
+}
+
+func mustBench(name string, scale float64) *workload.Benchmark {
+	if name == "" {
+		fatal(fmt.Errorf("missing -bench"))
+	}
+	b := workload.ByName(name, scale)
+	if b == nil {
+		fatal(fmt.Errorf("unknown benchmark %q", name))
+	}
+	return b
+}
+
+func cmdList() {
+	t := texttable.New("Benchmarks",
+		"name", "funcs", "blocks", "static", "runs", "target instrs", "input description")
+	for _, p := range workload.SuiteParams() {
+		b := workload.MustBuild(p)
+		t.Row(p.Name, len(b.Prog.Funcs), b.Prog.NumBlocks(),
+			texttable.KB(b.Prog.Bytes()), p.ProfileRuns,
+			texttable.Mega(p.TargetInstrs), p.InputDesc)
+	}
+	fmt.Print(t.String())
+}
+
+func cmdProfile(args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	name, scale := benchFlag(fs)
+	top := fs.Int("top", 15, "number of hottest functions to print")
+	fs.Parse(args)
+	b := mustBench(*name, *scale)
+
+	w, _, err := profile.Profile(b.Prog, profile.Config{
+		Seeds:  b.ProfileSeeds,
+		Interp: b.InterpConfig(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchmark %s: %d runs, %d dynamic instructions, %d calls, %d branches\n",
+		b.Name(), w.Runs, w.DynInstrs, w.DynCalls, w.DynBranches)
+	fmt.Printf("static %s, effective %s\n\n",
+		texttable.KB(b.Prog.Bytes()), texttable.KB(w.EffectiveBytes(b.Prog)))
+
+	type fw struct {
+		f ir.FuncID
+		w uint64
+	}
+	var funcs []fw
+	for _, f := range b.Prog.Funcs {
+		funcs = append(funcs, fw{f.ID, w.FuncWeight(f.ID)})
+	}
+	sort.Slice(funcs, func(i, j int) bool {
+		if funcs[i].w != funcs[j].w {
+			return funcs[i].w > funcs[j].w
+		}
+		return funcs[i].f < funcs[j].f
+	})
+	t := texttable.New("Hottest functions", "function", "entries", "bytes")
+	for i, e := range funcs {
+		if i >= *top {
+			break
+		}
+		t.Row(b.Prog.Funcs[e.f].Name, e.w, b.Prog.Funcs[e.f].Bytes())
+	}
+	fmt.Print(t.String())
+}
+
+func strategyByName(name string) (core.Strategy, error) {
+	switch name {
+	case "full":
+		return core.FullStrategy(), nil
+	case "natural":
+		return core.NaturalStrategy(), nil
+	case "no-inline":
+		return core.Strategy{TraceLayout: true, GlobalDFS: true, SplitCold: true}, nil
+	case "trace-only":
+		return core.Strategy{TraceLayout: true}, nil
+	case "no-split":
+		return core.Strategy{Inline: true, TraceLayout: true, GlobalDFS: true}, nil
+	}
+	return core.Strategy{}, fmt.Errorf("unknown strategy %q", name)
+}
+
+func optimize(b *workload.Benchmark, strategy string) *core.Result {
+	st, err := strategyByName(strategy)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig(b.ProfileSeeds...)
+	cfg.Interp = b.InterpConfig()
+	cfg.Strategy = st
+	res, err := core.Optimize(b.Prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	return res
+}
+
+func cmdLayout(args []string) {
+	fs := flag.NewFlagSet("layout", flag.ExitOnError)
+	name, scale := benchFlag(fs)
+	strategy := fs.String("strategy", "full", "placement strategy")
+	fs.Parse(args)
+	b := mustBench(*name, *scale)
+	res := optimize(b, *strategy)
+
+	fmt.Printf("benchmark %s, strategy %s\n", b.Name(), *strategy)
+	fmt.Printf("inlined %d call sites (code %+.1f%%), program %s, effective %s\n\n",
+		res.InlineReport.SitesInlined, res.InlineReport.CodeIncrease()*100,
+		texttable.KB(res.TotalBytes), texttable.KB(res.EffectiveBytes))
+
+	type span struct {
+		f    *ir.Function
+		lo   uint32
+		size int
+		hot  bool
+	}
+	var spans []span
+	for _, f := range res.Prog.Funcs {
+		// A function's effective part starts at the address of its
+		// first placed block.
+		o := res.Orders[f.ID]
+		if o.EffectiveBlocks > 0 {
+			lo := res.Layout.BlockAddr(f.ID, o.Blocks[0])
+			spans = append(spans, span{f, lo, o.EffectiveBytes(f), true})
+		}
+		if o.EffectiveBlocks < len(o.Blocks) {
+			lo := res.Layout.BlockAddr(f.ID, o.Blocks[o.EffectiveBlocks])
+			spans = append(spans, span{f, lo, f.Bytes() - o.EffectiveBytes(f), false})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	t := texttable.New("Memory layout", "address", "function", "region", "bytes")
+	for _, s := range spans {
+		region := "effective"
+		if !s.hot {
+			region = "cold"
+		}
+		t.Row(fmt.Sprintf("0x%06x", s.lo), s.f.Name, region, s.size)
+	}
+	fmt.Print(t.String())
+}
+
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	name, scale := benchFlag(fs)
+	strategy := fs.String("strategy", "full", "placement strategy (or 'random')")
+	out := fs.String("o", "", "output trace file (required)")
+	fs.Parse(args)
+	b := mustBench(*name, *scale)
+	if *out == "" {
+		fatal(fmt.Errorf("missing -o"))
+	}
+
+	var lay *layout.Layout
+	if *strategy == "random" {
+		lay = layout.Random(b.Prog, 1)
+	} else {
+		lay = optimize(b, *strategy).Layout
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	wr := memtrace.NewWriter(f)
+	tr, runRes, err := layout.Trace(lay, b.EvalSeed, b.EvalConfig())
+	if err != nil {
+		fatal(err)
+	}
+	tr.Replay(wr)
+	if err := wr.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d instruction fetches, %d runs (completed=%v)\n",
+		*out, tr.Instrs, len(tr.Runs), runRes.Completed)
+}
+
+func cmdSimulate(args []string) {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	name, scale := benchFlag(fs)
+	size := fs.Int("size", 2048, "cache size in bytes")
+	block := fs.Int("block", 64, "block size in bytes")
+	assoc := fs.Int("assoc", 1, "associativity (0 = fully associative)")
+	sector := fs.Int("sector", 0, "sector bytes (0 = whole block)")
+	partial := fs.Bool("partial", false, "partial loading")
+	fs.Parse(args)
+	b := mustBench(*name, *scale)
+
+	cfg := cache.Config{
+		SizeBytes: *size, BlockBytes: *block, Assoc: *assoc,
+		SectorBytes: *sector, PartialLoad: *partial,
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	res := optimize(b, "full")
+	optTr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
+	if err != nil {
+		fatal(err)
+	}
+	natTr, _, err := layout.Trace(layout.Natural(b.Prog), b.EvalSeed, b.EvalConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	so, err := cache.Simulate(cfg, optTr)
+	if err != nil {
+		fatal(err)
+	}
+	sn, err := cache.Simulate(cfg, natTr)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := texttable.New(fmt.Sprintf("%s on %s", b.Name(), cfg),
+		"layout", "miss", "traffic", "misses", "accesses")
+	t.Row("optimized", texttable.Pct3(so.MissRatio()), texttable.Pct(so.TrafficRatio()), so.Misses, so.Accesses)
+	t.Row("natural", texttable.Pct3(sn.MissRatio()), texttable.Pct(sn.TrafficRatio()), sn.Misses, sn.Accesses)
+	fmt.Print(t.String())
+}
+
+func cmdDump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	name, scale := benchFlag(fs)
+	out := fs.String("o", "", "output file (default stdout)")
+	inlined := fs.Bool("inlined", false, "dump the program after inline expansion")
+	fs.Parse(args)
+	b := mustBench(*name, *scale)
+
+	prog := b.Prog
+	if *inlined {
+		prog = optimize(b, "full").Prog
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ir.Encode(w, prog); err != nil {
+		fatal(err)
+	}
+}
+
+// cmdRun applies the pipeline to an external program: decode the IR,
+// profile it on the given seeds, place it, trace a held-out input,
+// and simulate both layouts.
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	irPath := fs.String("ir", "", "program in textual IR format (required)")
+	seedsArg := fs.String("seeds", "1,2,3,4", "comma-separated profiling seeds")
+	evalSeed := fs.Uint64("eval", 99, "evaluation input seed")
+	maxSteps := fs.Uint64("maxsteps", 50_000_000, "per-run instruction cap")
+	size := fs.Int("size", 2048, "cache size in bytes")
+	block := fs.Int("block", 64, "block size in bytes")
+	assoc := fs.Int("assoc", 1, "associativity (0 = fully associative)")
+	fs.Parse(args)
+	if *irPath == "" {
+		fatal(fmt.Errorf("missing -ir"))
+	}
+
+	f, err := os.Open(*irPath)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ir.Decode(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var seeds []uint64
+	for _, s := range strings.Split(*seedsArg, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad seed %q: %v", s, err))
+		}
+		seeds = append(seeds, v)
+	}
+
+	cfg := core.DefaultConfig(seeds...)
+	cfg.Interp = interp.Config{MaxSteps: *maxSteps}
+	res, err := core.Optimize(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("program %s: %d funcs, %s -> %s after inlining (%d sites), effective %s\n",
+		*irPath, len(prog.Funcs), texttable.KB(prog.Bytes()),
+		texttable.KB(res.TotalBytes), res.InlineReport.SitesInlined,
+		texttable.KB(res.EffectiveBytes))
+
+	optTr, optRun, err := res.EvalTrace(*evalSeed, cfg.Interp)
+	if err != nil {
+		fatal(err)
+	}
+	if !optRun.Completed {
+		fmt.Fprintln(os.Stderr, "impact: warning: evaluation run hit the instruction cap; raise -maxsteps")
+	}
+	natTr, _, err := layout.Trace(layout.Natural(prog), *evalSeed, cfg.Interp)
+	if err != nil {
+		fatal(err)
+	}
+
+	ccfg := cache.Config{SizeBytes: *size, BlockBytes: *block, Assoc: *assoc}
+	so, err := cache.Simulate(ccfg, optTr)
+	if err != nil {
+		fatal(err)
+	}
+	sn, err := cache.Simulate(ccfg, natTr)
+	if err != nil {
+		fatal(err)
+	}
+	t := texttable.New(fmt.Sprintf("%s on %s (%d fetches)", *irPath, ccfg, optTr.Instrs),
+		"layout", "miss", "traffic")
+	t.Row("optimized", texttable.Pct3(so.MissRatio()), texttable.Pct(so.TrafficRatio()))
+	t.Row("natural", texttable.Pct3(sn.MissRatio()), texttable.Pct(sn.TrafficRatio()))
+	fmt.Print(t.String())
+}

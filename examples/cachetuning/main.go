@@ -1,0 +1,139 @@
+// cachetuning explores the instruction cache design space for an
+// embedded-style hardware budget, the way the paper's section 4.2
+// does: given code laid out by the placement pipeline, how small and
+// how simple can the cache be?
+//
+// It sweeps size, block size, sectoring, and partial loading for one
+// benchmark, accounts for the tag storage overhead of each
+// organisation (the paper: a 2KB/64B cache needs only 16 tags, ~3% of
+// the data store), and prints the organisations on the
+// miss/traffic/overhead frontier.
+//
+// Run with:
+//
+//	go run ./examples/cachetuning [-bench make] [-scale 0.3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"impact/internal/cache"
+	"impact/internal/core"
+	"impact/internal/texttable"
+	"impact/internal/workload"
+)
+
+type design struct {
+	cfg      cache.Config
+	miss     float64
+	traffic  float64
+	tagBytes int
+}
+
+// tagBytes estimates control overhead: 4 bytes of tag per block, plus
+// one valid bit per sector or word where applicable.
+func tagBytes(cfg cache.Config) int {
+	blocks := cfg.SizeBytes / cfg.BlockBytes
+	bytes := 4 * blocks
+	switch {
+	case cfg.SectorBytes != 0:
+		bytes += blocks * (cfg.BlockBytes / cfg.SectorBytes) / 8
+	case cfg.PartialLoad:
+		bytes += blocks * (cfg.BlockBytes / 4) / 8
+	}
+	return bytes
+}
+
+func main() {
+	bench := flag.String("bench", "make", "benchmark name")
+	scale := flag.Float64("scale", 0.3, "trace length multiplier")
+	flag.Parse()
+
+	b := workload.ByName(*bench, *scale)
+	if b == nil {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+
+	cfg := core.DefaultConfig(b.ProfileSeeds...)
+	cfg.Interp = b.InterpConfig()
+	res, err := core.Optimize(b.Prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark %s: optimized layout, %d instruction fetches\n\n", b.Name(), tr.Instrs)
+
+	var designs []design
+	for _, size := range []int{512, 1024, 2048, 4096} {
+		for _, block := range []int{16, 32, 64, 128} {
+			if block > size {
+				continue
+			}
+			bases := []cache.Config{
+				{SizeBytes: size, BlockBytes: block, Assoc: 1},
+				{SizeBytes: size, BlockBytes: block, Assoc: 1, PartialLoad: true},
+			}
+			if block >= 32 {
+				bases = append(bases, cache.Config{SizeBytes: size, BlockBytes: block, Assoc: 1, SectorBytes: 8})
+			}
+			for _, c := range bases {
+				st, err := cache.Simulate(c, tr)
+				if err != nil {
+					log.Fatal(err)
+				}
+				designs = append(designs, design{
+					cfg:      c,
+					miss:     st.MissRatio(),
+					traffic:  st.TrafficRatio(),
+					tagBytes: tagBytes(c),
+				})
+			}
+		}
+	}
+
+	// Pareto frontier over (miss, traffic, data+tag bytes).
+	dominated := func(a, b design) bool {
+		ca := a.cfg.SizeBytes + a.tagBytes
+		cb := b.cfg.SizeBytes + b.tagBytes
+		return b.miss <= a.miss && b.traffic <= a.traffic && cb <= ca &&
+			(b.miss < a.miss || b.traffic < a.traffic || cb < ca)
+	}
+	var frontier []design
+	for _, d := range designs {
+		dom := false
+		for _, o := range designs {
+			if dominated(d, o) {
+				dom = true
+				break
+			}
+		}
+		if !dom {
+			frontier = append(frontier, d)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		ci := frontier[i].cfg.SizeBytes + frontier[i].tagBytes
+		cj := frontier[j].cfg.SizeBytes + frontier[j].tagBytes
+		if ci != cj {
+			return ci < cj
+		}
+		return frontier[i].miss < frontier[j].miss
+	})
+
+	t := texttable.New("Pareto-optimal instruction cache designs",
+		"organisation", "miss", "traffic", "tag bytes", "total bytes")
+	for _, d := range frontier {
+		t.Row(d.cfg.String(), texttable.Pct3(d.miss), texttable.Pct(d.traffic),
+			d.tagBytes, d.cfg.SizeBytes+d.tagBytes)
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nWith placement-optimized code, the frontier is dominated by small")
+	fmt.Println("direct-mapped caches with large blocks — little tag storage, no")
+	fmt.Println("associativity logic — exactly the paper's design point.")
+}

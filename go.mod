@@ -1,0 +1,3 @@
+module impact
+
+go 1.22

@@ -1,0 +1,53 @@
+package cache
+
+import (
+	"testing"
+
+	"impact/internal/memtrace"
+	"impact/internal/xrand"
+)
+
+// benchTrace builds a loop-heavy trace of ~1M fetches once per run.
+func benchTrace(b *testing.B) *memtrace.Trace {
+	b.Helper()
+	r := xrand.New(42)
+	var tr memtrace.Trace
+	hot := [4]uint32{0, 2048, 8192, 3072}
+	for tr.Instrs < 1_000_000 {
+		base := hot[r.Intn(4)]
+		tr.Run(memtrace.Run{Addr: base + uint32(r.Intn(64))*4, Bytes: uint32(r.IntRange(4, 64)) * 4})
+	}
+	return &tr
+}
+
+func benchSim(b *testing.B, cfg Config) {
+	tr := benchTrace(b)
+	b.SetBytes(int64(tr.Instrs) * WordBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimDirectMapped(b *testing.B) {
+	benchSim(b, Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1})
+}
+
+func BenchmarkSimFullyAssociative(b *testing.B) {
+	benchSim(b, Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 0})
+}
+
+func BenchmarkSimSectored(b *testing.B) {
+	benchSim(b, Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, SectorBytes: 8})
+}
+
+func BenchmarkSimPartialLoad(b *testing.B) {
+	benchSim(b, Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, PartialLoad: true})
+}
+
+func BenchmarkSimWithTiming(b *testing.B) {
+	benchSim(b, Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1,
+		Timing: &TimingConfig{InitialLatency: 8, CriticalWordFirst: true}})
+}

@@ -1,0 +1,49 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"impact/internal/cache"
+	"impact/internal/memtrace"
+)
+
+// ExampleSimulate measures a hot loop that fits the cache: one
+// compulsory miss per touched block, hits thereafter.
+func ExampleSimulate() {
+	var tr memtrace.Trace
+	for i := 0; i < 1000; i++ {
+		tr.Run(memtrace.Run{Addr: 0, Bytes: 256}) // 256B loop body
+	}
+	stats, err := cache.Simulate(cache.Config{
+		SizeBytes:  2048,
+		BlockBytes: 64,
+		Assoc:      1,
+	}, &tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("accesses=%d misses=%d miss=%.4f%% traffic=%.4f%%\n",
+		stats.Accesses, stats.Misses, stats.MissRatio()*100, stats.TrafficRatio()*100)
+	// Output:
+	// accesses=64000 misses=4 miss=0.0063% traffic=0.1000%
+}
+
+// ExampleSimulateHierarchy shows a small L1 backed by a larger outside
+// cache: the L1 thrashes on a 4KB working set, the L2 absorbs it.
+func ExampleSimulateHierarchy() {
+	var tr memtrace.Trace
+	for rep := 0; rep < 50; rep++ {
+		tr.Run(memtrace.Run{Addr: 0, Bytes: 4096})
+	}
+	l1, l2, err := cache.SimulateHierarchy(
+		cache.Config{SizeBytes: 1024, BlockBytes: 64, Assoc: 1},
+		cache.Config{SizeBytes: 8192, BlockBytes: 64, Assoc: 2},
+		&tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("L1 miss=%.2f%% L2 misses=%d (compulsory only)\n",
+		l1.MissRatio()*100, l2.Misses)
+	// Output:
+	// L1 miss=6.25% L2 misses=64 (compulsory only)
+}

@@ -1,0 +1,179 @@
+package cache
+
+// Differential testing: an independent, deliberately naive per-word
+// cache model is checked against the production run-chunked simulator
+// over random traces and organisations. The reference model trades all
+// performance for obviousness — word-at-a-time, map-based sets, linear
+// LRU — so any divergence points at a chunking bug in the fast path.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"impact/internal/memtrace"
+	"impact/internal/xrand"
+)
+
+// refCache is the naive model.
+type refCache struct {
+	cfg        Config
+	blockWords uint32
+	numSets    uint32
+	sectorWds  uint32
+	sets       [][]refLine
+	clock      uint64
+	misses     uint64
+	accesses   uint64
+	memWords   uint64
+}
+
+type refLine struct {
+	valid bool
+	tag   uint32
+	words []bool
+	stamp uint64
+}
+
+func newRef(cfg Config) *refCache {
+	blocks := cfg.SizeBytes / cfg.BlockBytes
+	assoc := cfg.Assoc
+	if assoc == 0 {
+		assoc = blocks
+	}
+	r := &refCache{
+		cfg:        cfg,
+		blockWords: uint32(cfg.BlockBytes / WordBytes),
+		numSets:    uint32(blocks / assoc),
+	}
+	if cfg.SectorBytes != 0 {
+		r.sectorWds = uint32(cfg.SectorBytes / WordBytes)
+	}
+	r.sets = make([][]refLine, r.numSets)
+	for i := range r.sets {
+		r.sets[i] = make([]refLine, assoc)
+		for j := range r.sets[i] {
+			r.sets[i][j].words = make([]bool, r.blockWords)
+		}
+	}
+	return r
+}
+
+func (r *refCache) access(w uint32) {
+	r.accesses++
+	mb := w / r.blockWords
+	off := w % r.blockWords
+	set := r.sets[mb%r.numSets]
+	tag := mb / r.numSets
+	r.clock++
+
+	var ln *refLine
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			ln = &set[i]
+			break
+		}
+	}
+	if ln == nil {
+		// Victimise LRU (preferring invalid).
+		ln = &set[0]
+		for i := range set {
+			if !set[i].valid {
+				ln = &set[i]
+				break
+			}
+			if set[i].stamp < ln.stamp {
+				ln = &set[i]
+			}
+		}
+		ln.valid = true
+		ln.tag = tag
+		for i := range ln.words {
+			ln.words[i] = false
+		}
+	}
+	ln.stamp = r.clock
+
+	switch {
+	case r.cfg.SectorBytes != 0:
+		if !ln.words[off] {
+			r.misses++
+			sec := off / r.sectorWds
+			for i := sec * r.sectorWds; i < (sec+1)*r.sectorWds; i++ {
+				ln.words[i] = true
+			}
+			r.memWords += uint64(r.sectorWds)
+		}
+	case r.cfg.PartialLoad:
+		if !ln.words[off] {
+			r.misses++
+			for i := off; i < r.blockWords && !ln.words[i]; i++ {
+				ln.words[i] = true
+				r.memWords++
+			}
+		}
+	default:
+		all := true
+		for _, v := range ln.words {
+			all = all && v
+		}
+		if !all {
+			r.misses++
+			for i := range ln.words {
+				ln.words[i] = true
+			}
+			r.memWords += uint64(r.blockWords)
+		}
+	}
+}
+
+func (r *refCache) run(rn memtrace.Run) {
+	for w := rn.Addr / 4; w < (rn.Addr+rn.Bytes)/4; w++ {
+		r.access(w)
+	}
+}
+
+// TestDifferentialAgainstReference cross-checks misses, accesses, and
+// memory words across random organisations and traces.
+func TestDifferentialAgainstReference(t *testing.T) {
+	cfgs := []Config{
+		{SizeBytes: 512, BlockBytes: 16, Assoc: 1},
+		{SizeBytes: 512, BlockBytes: 64, Assoc: 2},
+		{SizeBytes: 1024, BlockBytes: 32, Assoc: 0},
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, SectorBytes: 8},
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 4, SectorBytes: 16},
+		{SizeBytes: 1024, BlockBytes: 64, Assoc: 1, PartialLoad: true},
+		{SizeBytes: 2048, BlockBytes: 128, Assoc: 2, PartialLoad: true},
+	}
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		var tr memtrace.Trace
+		hot := uint32(r.Intn(32)) * 64
+		for i := 0; i < 250; i++ {
+			if r.Bool(0.6) {
+				tr.Run(memtrace.Run{Addr: hot + uint32(r.Intn(16))*4, Bytes: uint32(r.IntRange(1, 40)) * 4})
+			} else {
+				tr.Run(memtrace.Run{Addr: uint32(r.Intn(4096)) * 4, Bytes: uint32(r.IntRange(1, 20)) * 4})
+			}
+		}
+		for _, cfg := range cfgs {
+			got, err := Simulate(cfg, &tr)
+			if err != nil {
+				return false
+			}
+			ref := newRef(cfg)
+			for _, rn := range tr.Runs {
+				ref.run(rn)
+			}
+			if got.Misses != ref.misses || got.Accesses != ref.accesses || got.MemWords != ref.memWords {
+				t.Logf("cfg %v seed %#x: fast %d/%d/%d vs ref %d/%d/%d",
+					cfg, seed, got.Misses, got.Accesses, got.MemWords,
+					ref.misses, ref.accesses, ref.memWords)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"impact/internal/ir"
+	"impact/internal/workload"
+)
+
+// TestInlinePreservesWork verifies the pipeline's semantic
+// conservation law on real suite benchmarks: with the same profiling
+// seeds, the total executed non-control work (filler instructions,
+// weighted by profiled block counts) is identical before and after
+// inline expansion — the transform moves code, it never changes what
+// runs.
+func TestInlinePreservesWork(t *testing.T) {
+	for _, name := range []string{"tee", "grep", "yacc"} {
+		b := workload.ByName(name, 0.05)
+		cfg := DefaultConfig(b.ProfileSeeds...)
+		cfg.Interp = b.InterpConfig()
+		res, err := Optimize(b.Prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		before := weightedFillerWork(b.Prog, res)
+		after := weightedFillerWorkAfter(res)
+		if before != after {
+			t.Fatalf("%s: filler work changed %d -> %d across inlining", name, before, after)
+		}
+
+		// Eliminated calls exactly account for the instruction delta.
+		dBefore := res.OrigWeights.DynInstrs
+		dAfter := res.Weights.DynInstrs
+		eliminated := res.OrigWeights.DynCalls - res.Weights.DynCalls
+		if dBefore-dAfter != eliminated {
+			t.Fatalf("%s: instruction delta %d != eliminated calls %d",
+				name, dBefore-dAfter, eliminated)
+		}
+	}
+}
+
+func weightedFillerWork(p *ir.Program, res *Result) uint64 {
+	var total uint64
+	for fi, f := range p.Funcs {
+		for bi, blk := range f.Blocks {
+			total += res.OrigWeights.Funcs[fi].BlockW[bi] * uint64(fillerCount(blk))
+		}
+	}
+	return total
+}
+
+func weightedFillerWorkAfter(res *Result) uint64 {
+	var total uint64
+	for fi, f := range res.Prog.Funcs {
+		for bi, blk := range f.Blocks {
+			total += res.Weights.Funcs[fi].BlockW[bi] * uint64(fillerCount(blk))
+		}
+	}
+	return total
+}
+
+func fillerCount(b *ir.Block) int {
+	n := 0
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.OpALU, ir.OpLoad, ir.OpStore:
+			n++
+		}
+	}
+	return n
+}

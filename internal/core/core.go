@@ -1,0 +1,293 @@
+// Package core orchestrates the IMPACT-I instruction placement
+// pipeline — the paper's primary contribution (section 3):
+//
+//	Step 1  Execution profiling        (internal/profile)
+//	Step 2  Function inline expansion  (internal/core/inline)
+//	Step 3  Trace selection            (internal/core/traceselect)
+//	Step 4  Function layout            (internal/core/funclayout)
+//	Step 5  Global layout              (internal/core/globallayout)
+//
+// Optimize runs the steps and produces the transformed program, its
+// re-measured profile, and a memory layout in which sequential and
+// spatial localities are maximised and cache mapping conflicts
+// minimised. Each step can be disabled independently (Strategy) for
+// the ablation experiments.
+package core
+
+import (
+	"fmt"
+
+	"impact/internal/core/funclayout"
+	"impact/internal/core/globallayout"
+	"impact/internal/core/inline"
+	"impact/internal/core/traceselect"
+	"impact/internal/interp"
+	"impact/internal/ir"
+	"impact/internal/layout"
+	"impact/internal/memtrace"
+	"impact/internal/profile"
+)
+
+// Strategy selects which pipeline steps run. The zero value disables
+// everything and reproduces the natural (declaration-order) layout.
+type Strategy struct {
+	// Inline enables step 2, function inline expansion.
+	Inline bool
+	// TraceLayout enables steps 3-4: trace selection and intra-
+	// function trace placement.
+	TraceLayout bool
+	// GlobalDFS enables step 5's global function ordering; when false,
+	// functions stay in declaration order.
+	GlobalDFS bool
+	// PettisHansen, when GlobalDFS is enabled, replaces the Appendix's
+	// weighted depth-first order with Pettis & Hansen's closest-is-
+	// best chain merging (PLDI 1990) — the historical follow-on to
+	// this paper, provided for the A6 comparison.
+	PettisHansen bool
+	// SplitCold enables step 5's effective/non-executed split: the
+	// non-executed parts of all functions are packed after all the
+	// effective parts instead of staying inside their functions.
+	SplitCold bool
+}
+
+// FullStrategy returns the paper's complete pipeline.
+func FullStrategy() Strategy {
+	return Strategy{Inline: true, TraceLayout: true, GlobalDFS: true, SplitCold: true}
+}
+
+// NaturalStrategy returns the all-off baseline.
+func NaturalStrategy() Strategy { return Strategy{} }
+
+// Config parameterises one pipeline run.
+type Config struct {
+	// ProfileSeeds are the profiling inputs (paper Table 2 "runs").
+	ProfileSeeds []uint64
+	// Interp configures profiling executions.
+	Interp interp.Config
+	// Inline configures step 2. Zero value means inline.DefaultConfig.
+	Inline inline.Config
+	// MinProb is the trace selection threshold; zero means the paper's
+	// MIN_PROB = 0.7.
+	MinProb float64
+	// Strategy selects the steps; DefaultConfig uses FullStrategy.
+	Strategy Strategy
+}
+
+// DefaultConfig returns the paper's configuration with the given
+// profiling seeds.
+func DefaultConfig(seeds ...uint64) Config {
+	return Config{
+		ProfileSeeds: seeds,
+		Inline:       inline.DefaultConfig(),
+		MinProb:      traceselect.DefaultMinProb,
+		Strategy:     FullStrategy(),
+	}
+}
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	// Prog is the transformed program (inlined if step 2 ran).
+	Prog *ir.Program
+	// Layout maps Prog's blocks to memory addresses.
+	Layout *layout.Layout
+	// Weights is the profile of Prog (re-measured after inlining).
+	Weights *profile.Weights
+	// OrigWeights is the profile of the input program.
+	OrigWeights *profile.Weights
+
+	// InlineReport describes step 2 (zero value if disabled).
+	InlineReport inline.Report
+	// TraceStats aggregates Table 4 metrics over all functions.
+	TraceStats traceselect.Stats
+	// Traces holds the per-function trace selection results.
+	Traces []traceselect.Result
+	// Orders holds the per-function body layouts.
+	Orders []funclayout.Order
+	// GlobalOrder is the function placement order.
+	GlobalOrder globallayout.Order
+
+	// EffectiveBytes is the code size of all effective regions; with
+	// the full pipeline these occupy addresses [0, EffectiveBytes).
+	EffectiveBytes int
+	// TotalBytes is Prog's full static size.
+	TotalBytes int
+}
+
+// Optimize runs the configured pipeline steps on p.
+func Optimize(p *ir.Program, cfg Config) (*Result, error) {
+	if len(cfg.ProfileSeeds) == 0 {
+		return nil, fmt.Errorf("core: no profiling seeds configured")
+	}
+	if cfg.MinProb == 0 {
+		cfg.MinProb = traceselect.DefaultMinProb
+	}
+	if cfg.Inline == (inline.Config{}) {
+		cfg.Inline = inline.DefaultConfig()
+	}
+	profCfg := profile.Config{Seeds: cfg.ProfileSeeds, Interp: cfg.Interp}
+
+	// Step 1: execution profiling.
+	origW, _, err := profile.Profile(p, profCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling input program: %w", err)
+	}
+
+	// Step 2: function inline expansion.
+	prog := p
+	var inlineRep inline.Report
+	w := origW
+	if cfg.Strategy.Inline {
+		prog, inlineRep, err = inline.Expand(p, origW, cfg.Inline)
+		if err != nil {
+			return nil, fmt.Errorf("core: inline expansion: %w", err)
+		}
+		// Re-profile the transformed program with the same inputs;
+		// IMPACT-I instead propagates weights through the transform,
+		// which is equivalent but harder to verify (see DESIGN.md).
+		w, _, err = profile.Profile(prog, profCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: re-profiling inlined program: %w", err)
+		}
+	}
+
+	res := &Result{
+		Prog:         prog,
+		Weights:      w,
+		OrigWeights:  origW,
+		InlineReport: inlineRep,
+		TotalBytes:   prog.Bytes(),
+	}
+
+	// Steps 3-4: trace selection and function body layout.
+	res.Traces = make([]traceselect.Result, len(prog.Funcs))
+	res.Orders = make([]funclayout.Order, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		fw := &w.Funcs[f.ID]
+		if cfg.Strategy.TraceLayout {
+			sel := traceselect.Select(f, fw, cfg.MinProb)
+			res.Traces[f.ID] = sel
+			res.TraceStats.Add(traceselect.ComputeStats(f, fw, &sel))
+			res.Orders[f.ID] = funclayout.Layout(f, fw, &sel)
+		} else {
+			res.Traces[f.ID] = naturalTraces(f)
+			res.Orders[f.ID] = naturalOrder(f, fw)
+		}
+		res.EffectiveBytes += res.Orders[f.ID].EffectiveBytes(f)
+	}
+
+	// Step 5: global layout.
+	if cfg.Strategy.GlobalDFS {
+		if cfg.Strategy.PettisHansen {
+			res.GlobalOrder = globallayout.PettisHansen(prog, w)
+		} else {
+			res.GlobalOrder = globallayout.Layout(prog, w)
+		}
+	} else {
+		order := make([]ir.FuncID, len(prog.Funcs))
+		for i := range order {
+			order[i] = ir.FuncID(i)
+		}
+		res.GlobalOrder = globallayout.Order{Funcs: order}
+	}
+
+	// Compose the final placement.
+	var pl layout.Placement
+	if cfg.Strategy.SplitCold {
+		// Effective regions of all functions in global order, then the
+		// non-executed regions in the same order.
+		for _, f := range res.GlobalOrder.Funcs {
+			o := res.Orders[f]
+			for _, b := range o.Blocks[:o.EffectiveBlocks] {
+				pl.Order = append(pl.Order, layout.BlockRef{F: f, B: b})
+			}
+		}
+		for _, f := range res.GlobalOrder.Funcs {
+			o := res.Orders[f]
+			for _, b := range o.Blocks[o.EffectiveBlocks:] {
+				pl.Order = append(pl.Order, layout.BlockRef{F: f, B: b})
+			}
+		}
+	} else {
+		for _, f := range res.GlobalOrder.Funcs {
+			for _, b := range res.Orders[f].Blocks {
+				pl.Order = append(pl.Order, layout.BlockRef{F: f, B: b})
+			}
+		}
+	}
+	res.Layout, err = layout.FromPlacement(prog, pl)
+	if err != nil {
+		return nil, fmt.Errorf("core: composing layout: %w", err)
+	}
+	return res, nil
+}
+
+// naturalTraces puts every block in its own trace (used when trace
+// layout is disabled, so Table 4 style stats remain computable).
+func naturalTraces(f *ir.Function) traceselect.Result {
+	res := traceselect.Result{
+		TraceOf: make([]int, len(f.Blocks)),
+		PosOf:   make([]int, len(f.Blocks)),
+	}
+	for _, b := range f.Blocks {
+		res.TraceOf[b.ID] = int(b.ID)
+		res.Traces = append(res.Traces, traceselect.Trace{
+			ID:     int(b.ID),
+			Blocks: []ir.BlockID{b.ID},
+		})
+	}
+	return res
+}
+
+// naturalOrder keeps declaration order with no effective split.
+func naturalOrder(f *ir.Function, fw *profile.FuncWeights) funclayout.Order {
+	o := funclayout.Order{Blocks: make([]ir.BlockID, len(f.Blocks))}
+	for i := range o.Blocks {
+		o.Blocks[i] = ir.BlockID(i)
+	}
+	o.EffectiveBlocks = len(o.Blocks)
+	_ = fw
+	return o
+}
+
+// EvalTrace executes res.Prog with the given evaluation seed under
+// res.Layout and returns the instruction fetch trace — the paper's
+// "dynamic trace" taken with "a randomly selected input".
+func (res *Result) EvalTrace(seed uint64, cfg interp.Config) (*memtrace.Trace, interp.Result, error) {
+	return layout.Trace(res.Layout, seed, cfg)
+}
+
+// DynCallsAfter returns the dynamic call count of the transformed
+// program over the profiling runs (for Table 3's "call dec").
+func (res *Result) DynCallsAfter() uint64 { return res.Weights.DynCalls }
+
+// CallDecrease returns the fraction of dynamic calls eliminated by
+// inline expansion (Table 3 "call dec").
+func (res *Result) CallDecrease() float64 {
+	before := res.OrigWeights.DynCalls
+	if before == 0 {
+		return 0
+	}
+	after := res.Weights.DynCalls
+	if after > before {
+		return 0
+	}
+	return float64(before-after) / float64(before)
+}
+
+// InstrsPerCall returns dynamic instructions executed per dynamic
+// function call after inlining (Table 3 "DI's per call").
+func (res *Result) InstrsPerCall() float64 {
+	if res.Weights.DynCalls == 0 {
+		return float64(res.Weights.DynInstrs)
+	}
+	return float64(res.Weights.DynInstrs) / float64(res.Weights.DynCalls)
+}
+
+// TransfersPerCall returns dynamic control transfers (branches) per
+// dynamic call after inlining (Table 3 "CT's per call").
+func (res *Result) TransfersPerCall() float64 {
+	if res.Weights.DynCalls == 0 {
+		return float64(res.Weights.DynBranches)
+	}
+	return float64(res.Weights.DynBranches) / float64(res.Weights.DynCalls)
+}

@@ -1,0 +1,160 @@
+// Package funclayout implements IMPACT-I function body layout — step 4
+// of the paper's pipeline and the Appendix "Algorithm
+// FunctionBodyLayout".
+//
+// Traces are placed into the function's code space sequentially,
+// starting from the entry trace. After placing a trace, the algorithm
+// follows the heaviest terminal-to-terminal connection — the profiled
+// arc from the placed trace's tail block to the head block of an
+// unplaced non-zero-weight trace. When no such connection exists, it
+// falls back to the most important unplaced trace. Traces with zero
+// execution count are moved to the bottom of the function: "This
+// results in smaller effective function body, and allows more
+// effective parts of functions to be packed into each page."
+package funclayout
+
+import (
+	"sort"
+
+	"impact/internal/core/traceselect"
+	"impact/internal/ir"
+	"impact/internal/profile"
+)
+
+// Order is the memory order of one function's blocks.
+type Order struct {
+	// Blocks lists every block of the function in placement order.
+	Blocks []ir.BlockID
+	// EffectiveBlocks is the number of leading entries of Blocks that
+	// belong to non-zero-weight traces (the function's "effective
+	// part"); the remaining entries are the non-executed part.
+	EffectiveBlocks int
+}
+
+// EffectiveBytes returns the code size of the effective part.
+func (o Order) EffectiveBytes(f *ir.Function) int {
+	total := 0
+	for _, b := range o.Blocks[:o.EffectiveBlocks] {
+		total += f.Blocks[b].Bytes()
+	}
+	return total
+}
+
+// Layout orders the traces of f (as selected by sel from weights w)
+// into a function body layout.
+func Layout(f *ir.Function, w *profile.FuncWeights, sel *traceselect.Result) Order {
+	n := len(sel.Traces)
+	visited := make([]bool, n)
+	var placed []int // trace IDs in placement order
+
+	// Terminal-to-terminal connection weights: for the tail block of
+	// each trace, the profiled arc weights into head blocks of other
+	// traces.
+	type conn struct {
+		to     int // destination trace
+		weight uint64
+	}
+	tailConns := make([][]conn, n)
+	for ti, tr := range sel.Traces {
+		tail := tr.Blocks[len(tr.Blocks)-1]
+		for k, a := range f.Blocks[tail].Out {
+			c := w.ArcW[tail][k]
+			if c == 0 {
+				continue
+			}
+			dst := a.To
+			if !sel.Head(dst) {
+				continue // terminal-to-terminal connections only
+			}
+			dt := sel.TraceOf[dst]
+			if dt == ti {
+				continue // loop back into the same trace
+			}
+			if sel.Traces[dt].Weight == 0 {
+				continue // "we consider only non-zero weight traces"
+			}
+			tailConns[ti] = append(tailConns[ti], conn{to: dt, weight: c})
+		}
+		// Deterministic preference order.
+		sort.SliceStable(tailConns[ti], func(a, b int) bool {
+			if tailConns[ti][a].weight != tailConns[ti][b].weight {
+				return tailConns[ti][a].weight > tailConns[ti][b].weight
+			}
+			return tailConns[ti][a].to < tailConns[ti][b].to
+		})
+	}
+
+	// Non-zero-weight traces by importance for the fallback step.
+	byWeight := make([]int, 0, n)
+	for ti, tr := range sel.Traces {
+		if tr.Weight > 0 {
+			byWeight = append(byWeight, ti)
+		}
+	}
+	sort.SliceStable(byWeight, func(i, j int) bool {
+		a, b := sel.Traces[byWeight[i]], sel.Traces[byWeight[j]]
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		return a.Blocks[0] < b.Blocks[0]
+	})
+
+	mostImportantUnvisited := func() int {
+		for _, ti := range byWeight {
+			if !visited[ti] {
+				return ti
+			}
+		}
+		return -1
+	}
+
+	// "current = ENTRY trace" — placement starts at the trace holding
+	// the function entry block (the entry block is always a trace
+	// head; see traceselect).
+	current := sel.TraceOf[f.Entry]
+	if sel.Traces[current].Weight == 0 {
+		// The entry never ran, so the function has no effective entry
+		// trace. If any trace ran at all (defensive: cannot happen
+		// with exact profiles), start from the most important one;
+		// otherwise place nothing in the effective part.
+		current = mostImportantUnvisited()
+	}
+	for current >= 0 && !visited[current] {
+		visited[current] = true
+		placed = append(placed, current)
+
+		// "best = best trace connected to the current trace's tail"
+		next := -1
+		for _, c := range tailConns[current] {
+			if !visited[c.to] {
+				next = c.to
+				break
+			}
+		}
+		if next < 0 {
+			// "start from the most important not-visited trace."
+			next = mostImportantUnvisited()
+		}
+		current = next
+	}
+
+	var out Order
+	for _, ti := range placed {
+		out.Blocks = append(out.Blocks, sel.Traces[ti].Blocks...)
+	}
+	out.EffectiveBlocks = len(out.Blocks)
+
+	// Zero-weight traces go to the bottom, in trace ID order (which is
+	// deterministic and close to source order).
+	for ti, tr := range sel.Traces {
+		if !visited[ti] {
+			if tr.Weight != 0 {
+				// Unreachable: every non-zero trace is placed by the
+				// fallback loop above.
+				panic("funclayout: non-zero trace left unplaced")
+			}
+			out.Blocks = append(out.Blocks, tr.Blocks...)
+		}
+	}
+	return out
+}

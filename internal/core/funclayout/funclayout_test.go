@@ -1,0 +1,207 @@
+package funclayout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"impact/internal/core/traceselect"
+	"impact/internal/ir"
+	"impact/internal/profile"
+	"impact/internal/xrand"
+)
+
+// fixture builds a function with a hot loop, a cold error path, and an
+// exit:
+//
+//	entry -> head <-> body   (hot loop)
+//	head -> cold (rare) -> exit
+//	head -> exit
+func fixture(t testing.TB) *ir.Function {
+	t.Helper()
+	pb := ir.NewProgramBuilder()
+	fb := pb.NewFunc("f")
+	entry := fb.NewBlock() // 0
+	head := fb.NewBlock()  // 1
+	body := fb.NewBlock()  // 2
+	cold := fb.NewBlock()  // 3
+	exit := fb.NewBlock()  // 4
+	fb.Fill(entry, 2)
+	fb.FallThrough(entry, head)
+	fb.Fill(head, 2)
+	fb.Branch(head,
+		ir.Arc{To: body, Prob: 0.90},
+		ir.Arc{To: exit, Prob: 0.0999},
+		ir.Arc{To: cold, Prob: 0.0001})
+	fb.Fill(body, 4)
+	fb.Jump(body, head)
+	fb.Fill(cold, 6)
+	fb.Jump(cold, exit)
+	fb.Fill(exit, 1)
+	fb.Ret(exit)
+	return pb.Build().Funcs[0]
+}
+
+func weightsFor(f *ir.Function, blockW []uint64, arcW map[[2]int]uint64) *profile.FuncWeights {
+	fw := &profile.FuncWeights{
+		Entries: blockW[f.Entry],
+		BlockW:  blockW,
+		ArcW:    make([][]uint64, len(f.Blocks)),
+	}
+	for _, b := range f.Blocks {
+		if len(b.Out) > 0 {
+			fw.ArcW[b.ID] = make([]uint64, len(b.Out))
+		}
+	}
+	for k, v := range arcW {
+		fw.ArcW[k[0]][k[1]] = v
+	}
+	return fw
+}
+
+// hotWeights gives the fixture a realistic hot-loop profile with the
+// cold path never taken.
+func hotWeights(f *ir.Function) *profile.FuncWeights {
+	return weightsFor(f, []uint64{10, 1000, 990, 0, 10}, map[[2]int]uint64{
+		{0, 0}: 10,  // entry->head
+		{1, 0}: 990, // head->body
+		{1, 1}: 10,  // head->exit
+		{1, 2}: 0,   // head->cold
+		{2, 0}: 990, // body->head
+		{3, 0}: 0,   // cold->exit
+	})
+}
+
+func TestColdBlockAtBottom(t *testing.T) {
+	f := fixture(t)
+	w := hotWeights(f)
+	sel := traceselect.Select(f, w, traceselect.DefaultMinProb)
+	o := Layout(f, w, &sel)
+
+	if len(o.Blocks) != len(f.Blocks) {
+		t.Fatalf("order covers %d blocks, want %d", len(o.Blocks), len(f.Blocks))
+	}
+	if o.Blocks[len(o.Blocks)-1] != 3 {
+		t.Fatalf("cold block not last: order %v", o.Blocks)
+	}
+	if o.EffectiveBlocks != 4 {
+		t.Fatalf("EffectiveBlocks = %d, want 4", o.EffectiveBlocks)
+	}
+}
+
+func TestEntryTraceFirst(t *testing.T) {
+	f := fixture(t)
+	w := hotWeights(f)
+	sel := traceselect.Select(f, w, traceselect.DefaultMinProb)
+	o := Layout(f, w, &sel)
+	if o.Blocks[0] != f.Entry {
+		t.Fatalf("layout starts at block %d, want entry: %v", o.Blocks[0], o.Blocks)
+	}
+}
+
+func TestChainingFollowsTailConnection(t *testing.T) {
+	f := fixture(t)
+	w := hotWeights(f)
+	sel := traceselect.Select(f, w, traceselect.DefaultMinProb)
+	o := Layout(f, w, &sel)
+	// Entry trace = [entry]; its tail connects to head (weight 10).
+	// The loop trace [head body] should follow entry immediately,
+	// giving sequential order entry,head,body,exit.
+	want := []ir.BlockID{0, 1, 2, 4, 3}
+	for i, b := range o.Blocks {
+		if b != want[i] {
+			t.Fatalf("order = %v, want %v", o.Blocks, want)
+		}
+	}
+}
+
+func TestEffectiveBytes(t *testing.T) {
+	f := fixture(t)
+	w := hotWeights(f)
+	sel := traceselect.Select(f, w, traceselect.DefaultMinProb)
+	o := Layout(f, w, &sel)
+	// All blocks except cold (6 fill + jump = 7 instrs = 28 bytes).
+	want := f.Bytes() - 28
+	if got := o.EffectiveBytes(f); got != want {
+		t.Fatalf("EffectiveBytes = %d, want %d", got, want)
+	}
+}
+
+func TestZeroWeightFunction(t *testing.T) {
+	f := fixture(t)
+	w := weightsFor(f, make([]uint64, len(f.Blocks)), nil)
+	sel := traceselect.Select(f, w, traceselect.DefaultMinProb)
+	o := Layout(f, w, &sel)
+	if o.EffectiveBlocks != 0 {
+		t.Fatalf("EffectiveBlocks = %d for never-executed function", o.EffectiveBlocks)
+	}
+	if len(o.Blocks) != len(f.Blocks) {
+		t.Fatal("not all blocks placed")
+	}
+	if o.EffectiveBytes(f) != 0 {
+		t.Fatal("effective bytes non-zero for cold function")
+	}
+}
+
+func TestPermutationProperty(t *testing.T) {
+	f := fixture(t)
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		bw := make([]uint64, len(f.Blocks))
+		for i := range bw {
+			bw[i] = uint64(r.Intn(100))
+		}
+		arcs := map[[2]int]uint64{}
+		for _, b := range f.Blocks {
+			for k := range b.Out {
+				arcs[[2]int{int(b.ID), k}] = uint64(r.Intn(100))
+			}
+		}
+		w := weightsFor(f, bw, arcs)
+		sel := traceselect.Select(f, w, traceselect.DefaultMinProb)
+		o := Layout(f, w, &sel)
+		if len(o.Blocks) != len(f.Blocks) {
+			return false
+		}
+		seen := make(map[ir.BlockID]bool)
+		for _, b := range o.Blocks {
+			if seen[b] {
+				return false
+			}
+			seen[b] = true
+		}
+		// Every effective block's trace weight must be non-zero and
+		// every trailing block's trace weight zero.
+		for i, b := range o.Blocks {
+			tw := sel.Traces[sel.TraceOf[b]].Weight
+			if i < o.EffectiveBlocks && tw == 0 {
+				return false
+			}
+			if i >= o.EffectiveBlocks && tw != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracesStayContiguous(t *testing.T) {
+	f := fixture(t)
+	w := hotWeights(f)
+	sel := traceselect.Select(f, w, traceselect.DefaultMinProb)
+	o := Layout(f, w, &sel)
+	// Blocks of the same trace must be adjacent and in trace order.
+	pos := make(map[ir.BlockID]int)
+	for i, b := range o.Blocks {
+		pos[b] = i
+	}
+	for _, tr := range sel.Traces {
+		for i := 1; i < len(tr.Blocks); i++ {
+			if pos[tr.Blocks[i]] != pos[tr.Blocks[i-1]]+1 {
+				t.Fatalf("trace %d split in layout: %v", tr.ID, o.Blocks)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package globallayout implements IMPACT-I global layout — step 5 of
+// the paper's pipeline and the Appendix "Algorithm GlobalLayout".
+//
+// Functions are ordered by a weighted depth-first traversal of the
+// call graph: starting from the functions at the top of the hierarchy
+// (the program entry, then any other uncalled roots), each function's
+// callees are visited from the most to the least important call-graph
+// arc. The effective (executed) regions of all functions are then laid
+// out in DFS order, followed by the non-active regions in the same
+// order — so "functions which are executed close to each other in
+// time" land in the same pages and interfere less in the cache.
+package globallayout
+
+import (
+	"sort"
+
+	"impact/internal/ir"
+	"impact/internal/profile"
+)
+
+// Order is a permutation of the program's functions: the DFS layout
+// order of the Appendix.
+type Order struct {
+	Funcs []ir.FuncID
+}
+
+// Layout computes the weighted depth-first function order of program p
+// using the measured call-graph weights in w.
+func Layout(p *ir.Program, w *profile.Weights) Order {
+	n := len(p.Funcs)
+	visited := make([]bool, n)
+	order := make([]ir.FuncID, 0, n)
+
+	// weight(Fi, Fj): call-graph arc weights, "except when Fi==Fj,
+	// weight(X,X) = 0".
+	arcWeight := func(from, to ir.FuncID) uint64 {
+		if from == to {
+			return 0
+		}
+		return w.PairWeight(from, to)
+	}
+
+	// Static adjacency for traversal; the weights order the visits.
+	adj := p.StaticCallGraph()
+
+	var visit func(f ir.FuncID)
+	visit = func(f ir.FuncID) {
+		visited[f] = true
+		order = append(order, f)
+		callees := make([]ir.FuncID, len(adj[f]))
+		copy(callees, adj[f])
+		// "sort all subcalls from F by weight(F, Fj)" — most important
+		// first, FuncID as deterministic tie-break.
+		sort.SliceStable(callees, func(i, j int) bool {
+			wi, wj := arcWeight(f, callees[i]), arcWeight(f, callees[j])
+			if wi != wj {
+				return wi > wj
+			}
+			return callees[i] < callees[j]
+		})
+		for _, g := range callees {
+			if !visited[g] {
+				visit(g)
+			}
+		}
+	}
+
+	// "from functions Fi on top of the call graph hierarchy (e.g.
+	// 'main')": the program entry first, then any other function that
+	// is never called (library roots, dead functions), in ID order.
+	visit(p.Entry)
+	hasCaller := make([]bool, n)
+	for f := range adj {
+		for _, g := range adj[f] {
+			if ir.FuncID(f) != g {
+				hasCaller[g] = true
+			}
+		}
+	}
+	for f := 0; f < n; f++ {
+		if !visited[f] && !hasCaller[f] {
+			visit(ir.FuncID(f))
+		}
+	}
+	// Anything still unvisited is only reachable through cycles among
+	// called functions; sweep them up in ID order.
+	for f := 0; f < n; f++ {
+		if !visited[f] {
+			visit(ir.FuncID(f))
+		}
+	}
+	return Order{Funcs: order}
+}

@@ -1,0 +1,167 @@
+package globallayout
+
+import (
+	"testing"
+
+	"impact/internal/ir"
+	"impact/internal/profile"
+)
+
+// buildCallTree constructs:
+//
+//	main calls a, b; a calls c; nothing calls orphan.
+func buildCallTree(t *testing.T) *ir.Program {
+	t.Helper()
+	pb := ir.NewProgramBuilder()
+	mk := func(name string) *ir.FuncBuilder {
+		fb := pb.NewFunc(name)
+		return fb
+	}
+	c := mk("c") // 0
+	cb := c.NewBlock()
+	c.Fill(cb, 2)
+	c.Ret(cb)
+
+	a := mk("a") // 1
+	abk := a.NewBlock()
+	a.Call(abk, c.ID())
+	a.Ret(abk)
+
+	b := mk("b") // 2
+	bbk := b.NewBlock()
+	b.Fill(bbk, 2)
+	b.Ret(bbk)
+
+	orphan := mk("orphan") // 3
+	ob := orphan.NewBlock()
+	orphan.Fill(ob, 1)
+	orphan.Ret(ob)
+
+	m := mk("main") // 4
+	mb := m.NewBlock()
+	m.Call(mb, a.ID())
+	m.Call(mb, b.ID())
+	m.Ret(mb)
+	pb.SetEntry(m.ID())
+	return pb.Build()
+}
+
+func weightsWith(p *ir.Program, pairs map[profile.CallPair]uint64) *profile.Weights {
+	w := profile.NewWeights(p)
+	for k, v := range pairs {
+		w.Pairs[k] = v
+	}
+	return w
+}
+
+func TestDFSFollowsWeights(t *testing.T) {
+	p := buildCallTree(t)
+	// main->a heavier than main->b: DFS = main, a, c, b, then orphan.
+	w := weightsWith(p, map[profile.CallPair]uint64{
+		{Caller: 4, Callee: 1}: 100,
+		{Caller: 4, Callee: 2}: 10,
+		{Caller: 1, Callee: 0}: 100,
+	})
+	o := Layout(p, w)
+	want := []ir.FuncID{4, 1, 0, 2, 3}
+	if len(o.Funcs) != len(want) {
+		t.Fatalf("order = %v", o.Funcs)
+	}
+	for i, f := range want {
+		if o.Funcs[i] != f {
+			t.Fatalf("order = %v, want %v", o.Funcs, want)
+		}
+	}
+}
+
+func TestDFSWeightFlip(t *testing.T) {
+	p := buildCallTree(t)
+	// main->b heavier: b comes before a.
+	w := weightsWith(p, map[profile.CallPair]uint64{
+		{Caller: 4, Callee: 1}: 5,
+		{Caller: 4, Callee: 2}: 50,
+	})
+	o := Layout(p, w)
+	want := []ir.FuncID{4, 2, 1, 0, 3}
+	for i, f := range want {
+		if o.Funcs[i] != f {
+			t.Fatalf("order = %v, want %v", o.Funcs, want)
+		}
+	}
+}
+
+func TestAllFunctionsPlacedExactlyOnce(t *testing.T) {
+	p := buildCallTree(t)
+	o := Layout(p, profile.NewWeights(p))
+	if len(o.Funcs) != len(p.Funcs) {
+		t.Fatalf("placed %d funcs, want %d", len(o.Funcs), len(p.Funcs))
+	}
+	seen := make(map[ir.FuncID]bool)
+	for _, f := range o.Funcs {
+		if seen[f] {
+			t.Fatalf("function %d placed twice", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestEntryAlwaysFirst(t *testing.T) {
+	p := buildCallTree(t)
+	o := Layout(p, profile.NewWeights(p))
+	if o.Funcs[0] != p.Entry {
+		t.Fatalf("first function = %d, want entry %d", o.Funcs[0], p.Entry)
+	}
+}
+
+func TestSelfCallWeightIgnored(t *testing.T) {
+	// A function whose only call-graph weight is a self-call must not
+	// perturb ordering ("weight(X,X) = 0").
+	pb := ir.NewProgramBuilder()
+	rec := pb.NewFunc("rec")
+	rb := rec.NewBlock()
+	rec.Call(rb, rec.ID())
+	rec.Ret(rb)
+	m := pb.NewFunc("main")
+	mb := m.NewBlock()
+	m.Call(mb, rec.ID())
+	m.Ret(mb)
+	pb.SetEntry(m.ID())
+	p := pb.Build()
+
+	w := weightsWith(p, map[profile.CallPair]uint64{
+		{Caller: 0, Callee: 0}: 1000,
+		{Caller: 1, Callee: 0}: 1,
+	})
+	o := Layout(p, w)
+	want := []ir.FuncID{1, 0}
+	for i, f := range want {
+		if o.Funcs[i] != f {
+			t.Fatalf("order = %v, want %v", o.Funcs, want)
+		}
+	}
+}
+
+func TestCycleOnlyFunctionsSweptUp(t *testing.T) {
+	// x and y call each other but are never called from main's
+	// component: both must still be placed.
+	pb := ir.NewProgramBuilder()
+	x := pb.NewFunc("x")
+	y := pb.NewFunc("y")
+	xb := x.NewBlock()
+	x.Call(xb, y.ID())
+	x.Ret(xb)
+	yb := y.NewBlock()
+	y.Call(yb, x.ID())
+	y.Ret(yb)
+	m := pb.NewFunc("main")
+	mb := m.NewBlock()
+	m.Fill(mb, 1)
+	m.Ret(mb)
+	pb.SetEntry(m.ID())
+	p := pb.Build()
+
+	o := Layout(p, profile.NewWeights(p))
+	if len(o.Funcs) != 3 {
+		t.Fatalf("order = %v, want all 3 functions", o.Funcs)
+	}
+}

@@ -1,0 +1,121 @@
+package globallayout
+
+import (
+	"sort"
+
+	"impact/internal/ir"
+	"impact/internal/profile"
+)
+
+// PettisHansen computes a function order by the "closest is best"
+// greedy chain merging of Pettis & Hansen, "Profile Guided Code
+// Positioning" (PLDI 1990) — the direct follow-on to the paper this
+// repository reproduces. It is provided as an alternative to the
+// Appendix's weighted DFS so the two historical global-layout
+// algorithms can be compared on the same pipeline (ablation A6).
+//
+// The algorithm: every function starts as its own chain; call-graph
+// edges are processed from heaviest to lightest, and the two chains
+// containing the edge's endpoints are concatenated, oriented so the
+// endpoints land as close together as possible. Remaining chains are
+// emitted heaviest-first, with the chain holding the program entry
+// first of all.
+func PettisHansen(p *ir.Program, w *profile.Weights) Order {
+	n := len(p.Funcs)
+
+	type edge struct {
+		a, b   ir.FuncID
+		weight uint64
+	}
+	var edges []edge
+	for pair, c := range w.Pairs {
+		if pair.Caller == pair.Callee || c == 0 {
+			continue
+		}
+		edges = append(edges, edge{a: pair.Caller, b: pair.Callee, weight: c})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].weight != edges[j].weight {
+			return edges[i].weight > edges[j].weight
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	// Union-find over chains, with each root holding its member list
+	// in placement order.
+	parent := make([]int, n)
+	chain := make([][]ir.FuncID, n)
+	weight := make([]uint64, n) // total call-graph weight touching the chain
+	for i := range parent {
+		parent[i] = i
+		chain[i] = []ir.FuncID{ir.FuncID(i)}
+		weight[i] = w.Funcs[i].Entries
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	for _, e := range edges {
+		ra, rb := find(int(e.a)), find(int(e.b))
+		if ra == rb {
+			continue
+		}
+		ca, cb := chain[ra], chain[rb]
+		// Orient the chains so the edge endpoints end up adjacent
+		// ("closest is best"): a should sit at the tail of its chain,
+		// b at the head of its.
+		if ca[0] == e.a && len(ca) > 1 {
+			reverse(ca)
+		}
+		if cb[len(cb)-1] == e.b && len(cb) > 1 {
+			reverse(cb)
+		}
+		merged := append(ca, cb...)
+		parent[rb] = ra
+		chain[ra] = merged
+		chain[rb] = nil
+		weight[ra] += weight[rb] + e.weight
+	}
+
+	// Collect surviving chains; the one holding the entry leads, the
+	// rest follow by descending weight (heaviest code up front).
+	entryRoot := find(int(p.Entry))
+	type rootedChain struct {
+		root   int
+		funcs  []ir.FuncID
+		weight uint64
+	}
+	var chains []rootedChain
+	for i := range chain {
+		if chain[i] != nil && find(i) == i && i != entryRoot {
+			chains = append(chains, rootedChain{root: i, funcs: chain[i], weight: weight[i]})
+		}
+	}
+	sort.Slice(chains, func(i, j int) bool {
+		if chains[i].weight != chains[j].weight {
+			return chains[i].weight > chains[j].weight
+		}
+		return chains[i].root < chains[j].root
+	})
+
+	out := Order{Funcs: make([]ir.FuncID, 0, n)}
+	out.Funcs = append(out.Funcs, chain[entryRoot]...)
+	for _, c := range chains {
+		out.Funcs = append(out.Funcs, c.funcs...)
+	}
+	return out
+}
+
+func reverse(s []ir.FuncID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,292 @@
+// Package traceselect implements IMPACT-I trace selection — step 3 of
+// the paper's instruction placement pipeline and the Appendix
+// "Algorithm TraceSelection".
+//
+// Basic blocks which tend to execute in sequence are grouped into
+// traces; traces are the units of instruction placement. The algorithm
+// repeatedly seeds a trace at the hottest unselected block and grows it
+// forward through best successors and backward through best
+// predecessors, subject to the MIN_PROB threshold on arc likelihood in
+// both the source's and the destination's terms.
+//
+// The terminology follows trace scheduling (Fisher), not trace-driven
+// simulation: a trace here is a likely-sequential path of basic blocks.
+package traceselect
+
+import (
+	"sort"
+
+	"impact/internal/ir"
+	"impact/internal/profile"
+)
+
+// DefaultMinProb is the paper's MIN_PROB constant.
+const DefaultMinProb = 0.7
+
+// Trace is an ordered sequence of basic blocks expected to execute in
+// sequence. Blocks[0] is the trace head; the last entry is its tail.
+type Trace struct {
+	ID     int
+	Blocks []ir.BlockID
+	// Weight is the total profiled execution weight of the trace's
+	// blocks. Zero-weight traces hold never-executed code.
+	Weight uint64
+}
+
+// Result is a partition of one function's blocks into traces.
+type Result struct {
+	Traces []Trace
+	// TraceOf maps BlockID to the index of its trace in Traces.
+	TraceOf []int
+	// PosOf maps BlockID to its position within its trace.
+	PosOf []int
+}
+
+// Head reports whether b is the first block of its trace.
+func (r *Result) Head(b ir.BlockID) bool { return r.PosOf[b] == 0 }
+
+// Tail reports whether b is the last block of its trace.
+func (r *Result) Tail(b ir.BlockID) bool {
+	tr := r.Traces[r.TraceOf[b]]
+	return r.PosOf[b] == len(tr.Blocks)-1
+}
+
+// inArc identifies an incoming arc: source block and its arc index.
+type inArc struct {
+	src ir.BlockID
+	idx int
+}
+
+// Select partitions function f into traces using the measured weights
+// w (which must be the weights of f within its program) and threshold
+// minProb. Pass DefaultMinProb for the paper's configuration.
+func Select(f *ir.Function, w *profile.FuncWeights, minProb float64) Result {
+	n := len(f.Blocks)
+	res := Result{
+		TraceOf: make([]int, n),
+		PosOf:   make([]int, n),
+	}
+	for i := range res.TraceOf {
+		res.TraceOf[i] = -1
+	}
+
+	// "for non-executed functions, each basic block forms a trace."
+	if w.Entries == 0 {
+		for _, b := range f.Blocks {
+			res.TraceOf[b.ID] = len(res.Traces)
+			res.PosOf[b.ID] = 0
+			res.Traces = append(res.Traces, Trace{ID: len(res.Traces), Blocks: []ir.BlockID{b.ID}})
+		}
+		return res
+	}
+
+	// Incoming arcs per block, for best_predecessor.
+	incoming := make([][]inArc, n)
+	for _, b := range f.Blocks {
+		for k, a := range b.Out {
+			incoming[a.To] = append(incoming[a.To], inArc{src: b.ID, idx: k})
+		}
+	}
+
+	// "sort all BBi in F according to weight(BBi);" — descending, with
+	// BlockID as a deterministic tie-break.
+	order := make([]ir.BlockID, n)
+	for i := range order {
+		order[i] = ir.BlockID(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		wi, wj := w.BlockW[order[i]], w.BlockW[order[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+
+	selected := make([]bool, n)
+
+	// bestSuccessor returns the arc index of the best successor of bb,
+	// or -1, implementing the Appendix checks verbatim.
+	bestSuccessor := func(bb ir.BlockID) int {
+		blk := f.Blocks[bb]
+		best, bestW := -1, uint64(0)
+		for k := range blk.Out {
+			if c := w.ArcW[bb][k]; c > bestW {
+				best, bestW = k, c
+			}
+		}
+		if best < 0 || bestW == 0 {
+			return -1
+		}
+		dst := blk.Out[best].To
+		if float64(bestW) < minProb*float64(w.BlockW[bb]) {
+			return -1
+		}
+		if float64(bestW) < minProb*float64(w.BlockW[dst]) {
+			return -1
+		}
+		if selected[dst] {
+			return -1
+		}
+		return best
+	}
+
+	// bestPredecessor returns the best incoming arc of bb, or nil.
+	bestPredecessor := func(bb ir.BlockID) *inArc {
+		var best *inArc
+		var bestW uint64
+		for i := range incoming[bb] {
+			a := &incoming[bb][i]
+			if c := w.ArcW[a.src][a.idx]; c > bestW {
+				best, bestW = a, c
+			}
+		}
+		if best == nil || bestW == 0 {
+			return nil
+		}
+		if float64(bestW) < minProb*float64(w.BlockW[bb]) {
+			return nil
+		}
+		if float64(bestW) < minProb*float64(w.BlockW[best.src]) {
+			return nil
+		}
+		if selected[best.src] {
+			return nil
+		}
+		return best
+	}
+
+	for _, seed := range order {
+		if selected[seed] {
+			continue
+		}
+		selected[seed] = true
+		blocks := []ir.BlockID{seed}
+
+		// Grow the trace forward.
+		current := seed
+		for {
+			k := bestSuccessor(current)
+			if k < 0 {
+				break
+			}
+			s := f.Blocks[current].Out[k].To
+			if s == f.Entry {
+				// "if ((ln==0) or (destination(ln)==ENTRY)) break"
+				break
+			}
+			selected[s] = true
+			blocks = append(blocks, s)
+			current = s
+		}
+
+		// Grow the trace backward.
+		current = seed
+		for {
+			if current == f.Entry {
+				break
+			}
+			a := bestPredecessor(current)
+			if a == nil {
+				break
+			}
+			selected[a.src] = true
+			blocks = append([]ir.BlockID{a.src}, blocks...)
+			current = a.src
+		}
+
+		tr := Trace{ID: len(res.Traces), Blocks: blocks}
+		for pos, b := range blocks {
+			res.TraceOf[b] = tr.ID
+			res.PosOf[b] = pos
+			tr.Weight += w.BlockW[b]
+		}
+		res.Traces = append(res.Traces, tr)
+	}
+	return res
+}
+
+// Stats aggregates the paper's Table 4 metrics for one function or,
+// when merged, a whole program.
+type Stats struct {
+	// Weighted dynamic counts of control transfers by category.
+	Desirable   uint64 // block to its successor within a trace
+	Neutral     uint64 // trace tail to a trace head
+	Undesirable uint64 // enters and/or exits a trace mid-body
+	// Trace length accounting over traces with non-zero weight.
+	NonzeroTraces uint64
+	NonzeroBlocks uint64
+}
+
+// Total returns the total weighted control transfers classified.
+func (s Stats) Total() uint64 { return s.Desirable + s.Neutral + s.Undesirable }
+
+// DesirableFrac returns the desirable fraction of control transfers.
+func (s Stats) DesirableFrac() float64 { return frac(s.Desirable, s.Total()) }
+
+// NeutralFrac returns the neutral fraction of control transfers.
+func (s Stats) NeutralFrac() float64 { return frac(s.Neutral, s.Total()) }
+
+// UndesirableFrac returns the undesirable fraction.
+func (s Stats) UndesirableFrac() float64 { return frac(s.Undesirable, s.Total()) }
+
+// AvgTraceLength returns the mean number of basic blocks per trace,
+// over traces with non-zero execution weight.
+func (s Stats) AvgTraceLength() float64 {
+	if s.NonzeroTraces == 0 {
+		return 0
+	}
+	return float64(s.NonzeroBlocks) / float64(s.NonzeroTraces)
+}
+
+// Add merges two stats (for program-level aggregation).
+func (s *Stats) Add(o Stats) {
+	s.Desirable += o.Desirable
+	s.Neutral += o.Neutral
+	s.Undesirable += o.Undesirable
+	s.NonzeroTraces += o.NonzeroTraces
+	s.NonzeroBlocks += o.NonzeroBlocks
+}
+
+func frac(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// ComputeStats classifies every profiled control transfer of f against
+// the trace partition res, reproducing Table 4's neutral / undesirable
+// / desirable split:
+//
+//   - desirable: "control transfers which go from a basic block to its
+//     successor in a trace";
+//   - neutral: "control transfers from the end of a trace to the start
+//     of a trace";
+//   - undesirable: "control transfers which enter and/or exit traces
+//     at a nonterminal basic block".
+func ComputeStats(f *ir.Function, w *profile.FuncWeights, res *Result) Stats {
+	var s Stats
+	for _, b := range f.Blocks {
+		for k, a := range b.Out {
+			c := w.ArcW[b.ID][k]
+			if c == 0 {
+				continue
+			}
+			switch {
+			case res.TraceOf[b.ID] == res.TraceOf[a.To] && res.PosOf[a.To] == res.PosOf[b.ID]+1:
+				s.Desirable += c
+			case res.Tail(b.ID) && res.Head(a.To):
+				s.Neutral += c
+			default:
+				s.Undesirable += c
+			}
+		}
+	}
+	for _, tr := range res.Traces {
+		if tr.Weight > 0 {
+			s.NonzeroTraces++
+			s.NonzeroBlocks += uint64(len(tr.Blocks))
+		}
+	}
+	return s
+}

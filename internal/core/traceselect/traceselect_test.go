@@ -1,0 +1,330 @@
+package traceselect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"impact/internal/ir"
+	"impact/internal/profile"
+	"impact/internal/xrand"
+)
+
+// weightsFor builds a FuncWeights with the given block weights and arc
+// weights derived from a map (block, arcIdx) -> weight.
+func weightsFor(f *ir.Function, blockW []uint64, arcW map[[2]int]uint64) *profile.FuncWeights {
+	fw := &profile.FuncWeights{
+		Entries: blockW[f.Entry],
+		BlockW:  blockW,
+		ArcW:    make([][]uint64, len(f.Blocks)),
+	}
+	for _, b := range f.Blocks {
+		if len(b.Out) > 0 {
+			fw.ArcW[b.ID] = make([]uint64, len(b.Out))
+		}
+	}
+	for k, v := range arcW {
+		fw.ArcW[k[0]][k[1]] = v
+	}
+	return fw
+}
+
+// hotLoop builds: entry -> head -> body -> head (back) | exit.
+// The hot path entry,head,body should form one trace.
+func hotLoop(t *testing.T) *ir.Function {
+	t.Helper()
+	pb := ir.NewProgramBuilder()
+	fb := pb.NewFunc("f")
+	entry := fb.NewBlock()
+	head := fb.NewBlock()
+	body := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.Fill(entry, 2)
+	fb.FallThrough(entry, head)
+	fb.Fill(head, 2)
+	fb.Branch(head, ir.Arc{To: body, Prob: 0.9}, ir.Arc{To: exit, Prob: 0.1})
+	fb.Fill(body, 4)
+	fb.Jump(body, head)
+	fb.Fill(exit, 1)
+	fb.Ret(exit)
+	return pb.Build().Funcs[0]
+}
+
+func TestLoopTrace(t *testing.T) {
+	f := hotLoop(t)
+	// Simulated profile: entry 10, head 100, body 90, exit 10.
+	w := weightsFor(f, []uint64{10, 100, 90, 10}, map[[2]int]uint64{
+		{0, 0}: 10, // entry->head
+		{1, 0}: 90, // head->body
+		{1, 1}: 10, // head->exit
+		{2, 0}: 90, // body->head (back edge)
+	})
+	res := Select(f, w, DefaultMinProb)
+	// Seed = head (weight 100). Forward: head->body (90/100 >= .7,
+	// 90/90 >= .7) -> body. body->head blocked (head selected).
+	// Backward from head: best pred of head is body (90) but body is
+	// selected; so trace = [head, body]. Entry and exit form their own
+	// traces.
+	if got := len(res.Traces); got != 3 {
+		t.Fatalf("got %d traces %+v, want 3", got, res.Traces)
+	}
+	main := res.Traces[res.TraceOf[1]]
+	if len(main.Blocks) != 2 || main.Blocks[0] != 1 || main.Blocks[1] != 2 {
+		t.Fatalf("hot trace = %v, want [head body]", main.Blocks)
+	}
+	if res.TraceOf[0] == res.TraceOf[1] {
+		t.Fatal("entry merged into loop trace")
+	}
+}
+
+func TestChainForwardAndBackward(t *testing.T) {
+	// Linear chain a->b->c->d(ret), all weight 50; seed will be a
+	// (first in tie-break order) and grow forward through the chain.
+	pb := ir.NewProgramBuilder()
+	fb := pb.NewFunc("f")
+	a := fb.NewBlock()
+	b := fb.NewBlock()
+	c := fb.NewBlock()
+	d := fb.NewBlock()
+	fb.Fill(a, 1)
+	fb.FallThrough(a, b)
+	fb.Fill(b, 1)
+	fb.FallThrough(b, c)
+	fb.Fill(c, 1)
+	fb.FallThrough(c, d)
+	fb.Ret(d)
+	f := pb.Build().Funcs[0]
+
+	w := weightsFor(f, []uint64{50, 50, 50, 50}, map[[2]int]uint64{
+		{0, 0}: 50, {1, 0}: 50, {2, 0}: 50,
+	})
+	res := Select(f, w, DefaultMinProb)
+	if len(res.Traces) != 1 {
+		t.Fatalf("chain split into %d traces", len(res.Traces))
+	}
+	want := []ir.BlockID{0, 1, 2, 3}
+	for i, blk := range res.Traces[0].Blocks {
+		if blk != want[i] {
+			t.Fatalf("trace order %v, want %v", res.Traces[0].Blocks, want)
+		}
+	}
+}
+
+func TestBackwardGrowth(t *testing.T) {
+	// entry(10) -> hot(100, self loop) ... seed hot, backward growth
+	// can't include entry's pred; build pre(100) -> seedblk(100) chain
+	// where seedblk is hottest by tie-break inversion.
+	pb := ir.NewProgramBuilder()
+	fb := pb.NewFunc("f")
+	entry := fb.NewBlock() // ENTRY
+	pre := fb.NewBlock()
+	seedB := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.Fill(entry, 1)
+	fb.FallThrough(entry, pre)
+	fb.Fill(pre, 1)
+	fb.FallThrough(pre, seedB)
+	fb.Fill(seedB, 1)
+	fb.FallThrough(seedB, exit)
+	fb.Ret(exit)
+	f := pb.Build().Funcs[0]
+
+	// seedB is strictly heaviest so it seeds; growth must pick up pre
+	// backward and exit forward, and entry backward (pred of pre),
+	// stopping because current becomes ENTRY.
+	w := weightsFor(f, []uint64{40, 40, 41, 40}, map[[2]int]uint64{
+		{0, 0}: 40, {1, 0}: 40, {2, 0}: 40,
+	})
+	res := Select(f, w, DefaultMinProb)
+	if len(res.Traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(res.Traces))
+	}
+	want := []ir.BlockID{0, 1, 2, 3}
+	for i, blk := range res.Traces[0].Blocks {
+		if blk != want[i] {
+			t.Fatalf("trace = %v, want %v", res.Traces[0].Blocks, want)
+		}
+	}
+}
+
+func TestMinProbRejectsWeakArcs(t *testing.T) {
+	// a branches 60/40: neither side meets MIN_PROB=0.7 from a.
+	pb := ir.NewProgramBuilder()
+	fb := pb.NewFunc("f")
+	a := fb.NewBlock()
+	l := fb.NewBlock()
+	r := fb.NewBlock()
+	fb.Fill(a, 1)
+	fb.Branch(a, ir.Arc{To: l, Prob: 0.6}, ir.Arc{To: r, Prob: 0.4})
+	fb.Ret(l)
+	fb.Ret(r)
+	f := pb.Build().Funcs[0]
+
+	w := weightsFor(f, []uint64{100, 60, 40}, map[[2]int]uint64{
+		{0, 0}: 60, {0, 1}: 40,
+	})
+	res := Select(f, w, DefaultMinProb)
+	if len(res.Traces) != 3 {
+		t.Fatalf("got %d traces, want 3 (weak arcs rejected)", len(res.Traces))
+	}
+	// With a looser threshold the 60% arc qualifies.
+	res = Select(f, w, 0.5)
+	if len(res.Traces) != 2 {
+		t.Fatalf("minProb=0.5: got %d traces, want 2", len(res.Traces))
+	}
+}
+
+func TestDestinationRatioCheck(t *testing.T) {
+	// Arc a->join carries 100% of a's flow but only a minority of
+	// join's: "weight(ln)/weight(destination(ln)) < MIN_PROB" rejects.
+	pb := ir.NewProgramBuilder()
+	fb := pb.NewFunc("f")
+	a := fb.NewBlock()
+	other := fb.NewBlock()
+	join := fb.NewBlock()
+	fb.Fill(a, 1)
+	fb.FallThrough(a, join)
+	fb.Fill(other, 1)
+	fb.FallThrough(other, join)
+	fb.SetEntry(a)
+	fb.Fill(join, 1)
+	fb.Ret(join)
+	f := pb.Build().Funcs[0]
+	// other is unreachable from entry in this test's weights; feed
+	// synthetic weights: a=10, other=90, join=100.
+	w := weightsFor(f, []uint64{10, 90, 100}, map[[2]int]uint64{
+		{0, 0}: 10, {1, 0}: 90,
+	})
+	res := Select(f, w, DefaultMinProb)
+	// join's best pred is other (90/100 = 0.9 OK; 90/90 = 1 OK), so
+	// seed join (hottest) grows backward to other; a stays alone.
+	if res.TraceOf[0] == res.TraceOf[2] {
+		t.Fatal("a->join accepted despite failing destination ratio")
+	}
+	if res.TraceOf[1] != res.TraceOf[2] {
+		t.Fatal("other->join rejected despite qualifying")
+	}
+}
+
+func TestZeroWeightFunctionSingletons(t *testing.T) {
+	f := hotLoop(t)
+	w := weightsFor(f, []uint64{0, 0, 0, 0}, nil)
+	res := Select(f, w, DefaultMinProb)
+	if len(res.Traces) != len(f.Blocks) {
+		t.Fatalf("zero-weight function: %d traces, want %d", len(res.Traces), len(f.Blocks))
+	}
+	for _, tr := range res.Traces {
+		if len(tr.Blocks) != 1 || tr.Weight != 0 {
+			t.Fatalf("trace %+v not a zero-weight singleton", tr)
+		}
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	// For random weights on the loop CFG, the traces always partition
+	// the blocks: each block in exactly one trace, positions
+	// consistent.
+	f := hotLoop(t)
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		bw := make([]uint64, 4)
+		for i := range bw {
+			bw[i] = uint64(r.Intn(1000))
+		}
+		arcs := map[[2]int]uint64{
+			{0, 0}: uint64(r.Intn(500)),
+			{1, 0}: uint64(r.Intn(500)),
+			{1, 1}: uint64(r.Intn(500)),
+			{2, 0}: uint64(r.Intn(500)),
+		}
+		res := Select(f, weightsFor(f, bw, arcs), DefaultMinProb)
+		seen := make(map[ir.BlockID]bool)
+		for ti, tr := range res.Traces {
+			for pos, b := range tr.Blocks {
+				if seen[b] {
+					return false
+				}
+				seen[b] = true
+				if res.TraceOf[b] != ti || res.PosOf[b] != pos {
+					return false
+				}
+			}
+		}
+		return len(seen) == len(f.Blocks)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryAlwaysTraceHead(t *testing.T) {
+	f := hotLoop(t)
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		bw := make([]uint64, 4)
+		for i := range bw {
+			bw[i] = uint64(r.Intn(1000)) + 1
+		}
+		arcs := map[[2]int]uint64{
+			{0, 0}: bw[0],
+			{1, 0}: uint64(r.Intn(int(bw[1]) + 1)),
+			{1, 1}: uint64(r.Intn(int(bw[1]) + 1)),
+			{2, 0}: bw[2],
+		}
+		res := Select(f, weightsFor(f, bw, arcs), DefaultMinProb)
+		return res.Head(f.Entry)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStatsCategories(t *testing.T) {
+	f := hotLoop(t)
+	w := weightsFor(f, []uint64{10, 100, 90, 10}, map[[2]int]uint64{
+		{0, 0}: 10, // entry->head: entry is a singleton tail, head is a head: neutral
+		{1, 0}: 90, // head->body: within trace, consecutive: desirable
+		{1, 1}: 10, // head->exit: head is mid... head is pos 0 of [head body]; exit is a head. head is not tail: undesirable
+		{2, 0}: 90, // body->head: body is tail, head is head: neutral
+	})
+	res := Select(f, w, DefaultMinProb)
+	s := ComputeStats(f, w, &res)
+	if s.Desirable != 90 {
+		t.Fatalf("desirable = %d, want 90", s.Desirable)
+	}
+	if s.Neutral != 100 {
+		t.Fatalf("neutral = %d, want 100 (10+90)", s.Neutral)
+	}
+	if s.Undesirable != 10 {
+		t.Fatalf("undesirable = %d, want 10", s.Undesirable)
+	}
+	if s.Total() != 200 {
+		t.Fatalf("total = %d", s.Total())
+	}
+	if got := s.AvgTraceLength(); got != 4.0/3.0 {
+		t.Fatalf("avg trace length = %v, want 4/3", got)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Desirable: 1, Neutral: 2, Undesirable: 3, NonzeroTraces: 1, NonzeroBlocks: 2}
+	b := Stats{Desirable: 10, Neutral: 20, Undesirable: 30, NonzeroTraces: 2, NonzeroBlocks: 6}
+	a.Add(b)
+	if a.Desirable != 11 || a.Neutral != 22 || a.Undesirable != 33 {
+		t.Fatalf("Add result %+v", a)
+	}
+	if a.AvgTraceLength() != 8.0/3.0 {
+		t.Fatalf("merged avg length = %v", a.AvgTraceLength())
+	}
+}
+
+func TestFracsSumToOne(t *testing.T) {
+	s := Stats{Desirable: 58, Neutral: 39, Undesirable: 3}
+	sum := s.DesirableFrac() + s.NeutralFrac() + s.UndesirableFrac()
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	var zero Stats
+	if zero.DesirableFrac() != 0 || zero.AvgTraceLength() != 0 {
+		t.Fatal("zero stats produced non-zero fractions")
+	}
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"impact/internal/smith"
+)
+
+// The experiment tests verify shape properties, not absolute numbers:
+// who wins, in what direction parameters move the ratios, and that the
+// renderers produce the paper's row structure. They share one prepared
+// suite at a reduced dynamic scale.
+
+var (
+	prepOnce sync.Once
+	prepped  *Suite
+	prepErr  error
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	prepOnce.Do(func() {
+		prepped, prepErr = Prepare(0.08)
+	})
+	if prepErr != nil {
+		t.Fatal(prepErr)
+	}
+	return prepped
+}
+
+func TestPrepareProducesAllBenchmarks(t *testing.T) {
+	s := testSuite(t)
+	if len(s.Items) != 10 {
+		t.Fatalf("prepared %d benchmarks, want 10", len(s.Items))
+	}
+	for _, p := range s.Items {
+		if p.OptTrace.Instrs == 0 || p.NatTrace.Instrs == 0 {
+			t.Fatalf("%s: empty evaluation trace", p.Name())
+		}
+		if p.OptTrace.Instrs != p.NatTrace.Instrs {
+			// Inlining removes call instructions, so the optimized
+			// trace is slightly shorter — never longer.
+			if p.OptTrace.Instrs > p.NatTrace.Instrs {
+				t.Fatalf("%s: optimized trace longer than natural", p.Name())
+			}
+		}
+	}
+}
+
+func TestTable1OptimizedBeatsDesignTargets(t *testing.T) {
+	s := testSuite(t)
+	cells, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(smith.CacheSizes)*len(smith.BlockSizes) {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	// The paper's headline: the optimized direct-mapped miss ratios
+	// are consistently below Smith's fully associative design targets
+	// — "the miss ratios are consistently less than half".
+	for _, c := range cells {
+		if c.OptimizedDM >= c.Smith/2 {
+			t.Errorf("%dB/%dB: optimized %.4f not below half of Smith %.4f",
+				c.CacheBytes, c.BlockBytes, c.OptimizedDM, c.Smith)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	s := testSuite(t)
+	rows := Table2(s)
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Instructions == 0 || r.Control == 0 || r.Runs == 0 {
+			t.Fatalf("%s: empty profile row %+v", r.Name, r)
+		}
+		if r.Control >= r.Instructions {
+			t.Fatalf("%s: more control transfers than instructions", r.Name)
+		}
+	}
+}
+
+func TestTable3InlineShape(t *testing.T) {
+	s := testSuite(t)
+	rows := Table3(s)
+	byName := make(map[string]Table3Row)
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// tee's hot calls are system calls: inlining must barely help, so
+	// it keeps by far the highest call frequency (lowest DI's/call).
+	tee := byName["tee"]
+	if tee.CallDec > 0.5 {
+		t.Fatalf("tee call dec = %v, want small (syscalls not inlinable)", tee.CallDec)
+	}
+	for name, r := range byName {
+		if name == "tee" {
+			continue
+		}
+		if r.InstrsPerCall < tee.InstrsPerCall {
+			t.Fatalf("%s has more frequent calls (%f DI/call) than tee (%f)",
+				name, r.InstrsPerCall, tee.InstrsPerCall)
+		}
+	}
+	// Programs with hot user-level calls get most calls eliminated.
+	for _, name := range []string{"compress", "grep", "yacc"} {
+		if byName[name].CallDec < 0.6 {
+			t.Errorf("%s call dec = %v, want > 0.6", name, byName[name].CallDec)
+		}
+	}
+	// Code growth stays within the configured budget.
+	for _, r := range rows {
+		if r.CodeInc < 0 || r.CodeInc > 0.55 {
+			t.Errorf("%s code inc = %v outside [0, 0.55]", r.Name, r.CodeInc)
+		}
+	}
+}
+
+func TestTable4TraceShape(t *testing.T) {
+	s := testSuite(t)
+	rows := Table4(s)
+	for _, r := range rows {
+		sum := r.Neutral + r.Undesirable + r.Desirable
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s: fractions sum to %v", r.Name, sum)
+		}
+		// "once the control is transferred into a trace, it is likely
+		// to remain through the end": undesirable stays small.
+		if r.Undesirable > 0.15 {
+			t.Errorf("%s: undesirable %v > 0.15", r.Name, r.Undesirable)
+		}
+		if r.TraceLength < 1 {
+			t.Errorf("%s: trace length %v < 1", r.Name, r.TraceLength)
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	s := testSuite(t)
+	for _, r := range Table5(s) {
+		if r.EffectiveStaticBytes <= 0 || r.EffectiveStaticBytes > r.TotalStaticBytes {
+			t.Fatalf("%s: effective %d outside (0, %d]", r.Name, r.EffectiveStaticBytes, r.TotalStaticBytes)
+		}
+		if r.DynamicAccesses == 0 {
+			t.Fatalf("%s: no dynamic accesses", r.Name)
+		}
+	}
+}
+
+func TestTable6CacheSizeTrend(t *testing.T) {
+	s := testSuite(t)
+	rows, err := Table6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Suite-average miss ratio must decrease (weakly) as the cache
+	// grows, and the 2K average must stay small (paper: 0.5%; allow
+	// headroom for the reduced trace scale).
+	avg := func(cs int) float64 {
+		var m float64
+		for _, r := range rows {
+			m += r.Results[cs].Miss
+		}
+		return m / float64(len(rows))
+	}
+	prev := 0.0
+	for _, cs := range Table6CacheSizes { // largest first
+		m := avg(cs)
+		if m+1e-9 < prev {
+			t.Fatalf("average miss not increasing as cache shrinks: %v then %v", prev, m)
+		}
+		prev = m
+	}
+	if m := avg(2048); m > 0.02 {
+		t.Errorf("2K average miss %v, want <= 2%%", m)
+	}
+}
+
+func TestTable7BlockSizeTrend(t *testing.T) {
+	s := testSuite(t)
+	rows, err := Table7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgMiss := func(bs int) float64 {
+		var m float64
+		for _, r := range rows {
+			m += r.Results[bs].Miss
+		}
+		return m / float64(len(rows))
+	}
+	avgTraffic := func(bs int) float64 {
+		var m float64
+		for _, r := range rows {
+			m += r.Results[bs].Traffic
+		}
+		return m / float64(len(rows))
+	}
+	// "the miss ratios decrease and the memory traffic ratios increase
+	// as the block size increases".
+	for i := 1; i < len(Table7BlockSizes); i++ {
+		small, big := Table7BlockSizes[i-1], Table7BlockSizes[i]
+		if avgMiss(big) > avgMiss(small)+1e-9 {
+			t.Errorf("average miss rose from %dB (%v) to %dB (%v)",
+				small, avgMiss(small), big, avgMiss(big))
+		}
+		if avgTraffic(big)+1e-9 < avgTraffic(small) {
+			t.Errorf("average traffic fell from %dB (%v) to %dB (%v)",
+				small, avgTraffic(small), big, avgTraffic(big))
+		}
+	}
+}
+
+func TestTable8TrafficSchemes(t *testing.T) {
+	s := testSuite(t)
+	rows8, err := Table8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows7, err := Table7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := make(map[string]CacheResult)
+	for _, r := range rows7 {
+		whole[r.Name] = r.Results[64]
+	}
+	for _, r := range rows8 {
+		w := whole[r.Name]
+		// Sectoring: traffic never above whole-block, miss never below.
+		if r.Sector.Traffic > w.Traffic+1e-9 {
+			t.Errorf("%s: sector traffic %v above whole-block %v", r.Name, r.Sector.Traffic, w.Traffic)
+		}
+		if r.Sector.Miss+1e-9 < w.Miss {
+			t.Errorf("%s: sector miss %v below whole-block %v", r.Name, r.Sector.Miss, w.Miss)
+		}
+		// Partial loading: traffic never above whole-block; the miss
+		// increase is far gentler than sectoring's.
+		if r.Partial.Traffic > w.Traffic+1e-9 {
+			t.Errorf("%s: partial traffic %v above whole-block %v", r.Name, r.Partial.Traffic, w.Traffic)
+		}
+		if r.Partial.Miss > r.Sector.Miss+1e-9 {
+			t.Errorf("%s: partial miss %v above sector miss %v", r.Name, r.Partial.Miss, r.Sector.Miss)
+		}
+		// avg.fetch is in (0, 16] words for a 64B block.
+		if r.PartialFetch < 0 || r.PartialFetch > 16 {
+			t.Errorf("%s: avg.fetch %v outside [0, 16]", r.Name, r.PartialFetch)
+		}
+	}
+}
+
+func TestRenderersProduceRows(t *testing.T) {
+	s := testSuite(t)
+	t1, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t6, err := Table6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t7, err := Table7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := Table8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := []string{
+		RenderTable1(t1),
+		RenderTable2(Table2(s)),
+		RenderTable3(Table3(s)),
+		RenderTable4(Table4(s)),
+		RenderTable5(Table5(s)),
+		RenderTable6(t6),
+		RenderTable7(t7),
+		RenderTable8(t8),
+	}
+	for i, out := range outputs {
+		if !strings.Contains(out, "cccp") && !strings.Contains(out, "512") {
+			t.Errorf("table %d rendering missing benchmark rows:\n%s", i+1, out)
+		}
+		if strings.Count(out, "\n") < 5 {
+			t.Errorf("table %d suspiciously short:\n%s", i+1, out)
+		}
+	}
+}

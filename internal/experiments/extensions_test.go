@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtTimingShape(t *testing.T) {
+	s := testSuite(t)
+	rows, err := ExtTiming(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for _, bs := range Table7BlockSizes {
+			fwd, nofwd := r.ForwardEAT[bs], r.NoForwardEAT[bs]
+			if fwd < 1 || nofwd < 1 {
+				t.Fatalf("%s @%dB: effective access time below 1 cycle (%v, %v)", r.Name, bs, fwd, nofwd)
+			}
+			// Load forwarding can only help: the no-forwarding variant
+			// adds front-of-block repair stalls.
+			if fwd > nofwd+1e-9 {
+				t.Fatalf("%s @%dB: forwarding EAT %v above no-forwarding %v", r.Name, bs, fwd, nofwd)
+			}
+		}
+		// Without forwarding, larger blocks pay a growing front-repair
+		// cost per miss; with miss ratios falling at the same time the
+		// net can go either way — but the forwarding advantage must
+		// grow with block size for miss-heavy programs.
+		gain16 := r.NoForwardEAT[16] - r.ForwardEAT[16]
+		gain128 := r.NoForwardEAT[128] - r.ForwardEAT[128]
+		if r.ForwardEAT[16] > 1.01 && gain128+1e-9 < gain16 {
+			t.Errorf("%s: forwarding gain shrank with block size (%v -> %v)", r.Name, gain16, gain128)
+		}
+	}
+	if out := RenderExtTiming(rows); !strings.Contains(out, "64B fwd") {
+		t.Error("E1 rendering incomplete")
+	}
+}
+
+func TestExtPagingShape(t *testing.T) {
+	s := testSuite(t)
+	rows, err := ExtPaging(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var better, worse int
+	for _, r := range rows {
+		if r.OptPages <= 0 || r.NatPages <= 0 {
+			t.Fatalf("%s: zero page footprint", r.Name)
+		}
+		// The optimized layout packs effective code together. The
+		// optimized program is also bigger (inline expansion), so
+		// for programs that are almost entirely hot the footprint can
+		// grow with the code; bound it by the code growth plus a page
+		// of boundary slack.
+		growth := 1 + s.byName(r.Name).Opt.InlineReport.CodeIncrease()
+		if float64(r.OptPages) > float64(r.NatPages)*growth+1 {
+			t.Errorf("%s: optimized footprint %d pages above natural %d x growth %.2f",
+				r.Name, r.OptPages, r.NatPages, growth)
+		}
+		if r.OptPages < r.NatPages {
+			better++
+		}
+		if r.OptPages > r.NatPages {
+			worse++
+		}
+		if r.OptWS > r.NatWS+0.5 {
+			t.Errorf("%s: optimized working set %v above natural %v", r.Name, r.OptWS, r.NatWS)
+		}
+	}
+	if better <= worse {
+		t.Errorf("optimized layout reduced the page footprint for %d benchmarks, increased it for %d", better, worse)
+	}
+	if out := RenderExtPaging(rows); !strings.Contains(out, "opt WS") {
+		t.Error("E2 rendering incomplete")
+	}
+}
+
+func TestExtPrefetchShape(t *testing.T) {
+	s := testSuite(t)
+	rows, err := ExtPrefetch(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Prefetch generally reduces misses; it can pollute a
+		// direct-mapped cache, so allow a small regression margin.
+		if r.Prefetch.Miss > r.Plain.Miss*1.25+1e-4 {
+			t.Errorf("%s: prefetch raised miss %v -> %v", r.Name, r.Plain.Miss, r.Prefetch.Miss)
+		}
+		if r.Prefetch.Traffic+1e-9 < r.Plain.Traffic {
+			t.Errorf("%s: prefetch lowered traffic %v -> %v", r.Name, r.Plain.Traffic, r.Prefetch.Traffic)
+		}
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Errorf("%s: accuracy %v out of range", r.Name, r.Accuracy)
+		}
+	}
+	if out := RenderExtPrefetch(rows); !strings.Contains(out, "accuracy") {
+		t.Error("E3 rendering incomplete")
+	}
+}
+
+func TestExtHierarchyShape(t *testing.T) {
+	s := testSuite(t)
+	rows, err := ExtHierarchy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The second level filters: global misses never exceed L1
+		// misses (every L2 miss comes from an L1 fill).
+		if r.OptGlobal > r.OptL1Miss+1e-9 {
+			t.Errorf("%s: opt global %v above L1 %v", r.Name, r.OptGlobal, r.OptL1Miss)
+		}
+		if r.NatGlobal > r.NatL1Miss+1e-9 {
+			t.Errorf("%s: nat global %v above L1 %v", r.Name, r.NatGlobal, r.NatL1Miss)
+		}
+	}
+	// Placement helps decisively at L1. At the global level the large
+	// L2 filters almost everything and compulsory misses dominate, so
+	// the optimized (inlined, hence bigger) program may pay slightly
+	// more cold misses — allow the code-growth margin but no more.
+	var ol1, nl1, og, ng float64
+	for _, r := range rows {
+		ol1 += r.OptL1Miss
+		nl1 += r.NatL1Miss
+		og += r.OptGlobal
+		ng += r.NatGlobal
+	}
+	if ol1 >= nl1 {
+		t.Errorf("optimized L1 misses (%v) not below natural (%v)", ol1, nl1)
+	}
+	if og > ng*1.4 {
+		t.Errorf("optimized global misses (%v) far above natural (%v)", og, ng)
+	}
+	if out := RenderExtHierarchy(rows); !strings.Contains(out, "global") {
+		t.Error("E4 rendering incomplete")
+	}
+}
+
+func TestExtExtendedSuiteShape(t *testing.T) {
+	rows, err := ExtExtendedSuite(0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d extension rows, want 12", len(rows))
+	}
+	var opt, nat float64
+	for _, r := range rows {
+		if r.OptMiss < 0 || r.OptMiss > 0.2 {
+			t.Errorf("%s: opt miss %v out of range", r.Name, r.OptMiss)
+		}
+		opt += r.OptMiss
+		nat += r.NatMiss
+	}
+	// Placement wins on suite average for the extension too.
+	if opt >= nat {
+		t.Errorf("extension suite: optimized average (%v) not below natural (%v)", opt/12, nat/12)
+	}
+	if out := RenderExtExtendedSuite(rows); !strings.Contains(out, "espresso") {
+		t.Error("E5 rendering incomplete")
+	}
+}

@@ -1,0 +1,116 @@
+// Package experiments reproduces every table of the paper's
+// evaluation (section 4). The paper has nine tables and no figures;
+// each TableN function regenerates the corresponding table's rows from
+// the synthetic benchmark suite, and the ablation functions cover the
+// design choices the pipeline exposes (layout strategy, associativity,
+// MIN_PROB, global layout).
+//
+// All tables share one prepared state per benchmark: the profiled
+// program, the optimized placement from the full pipeline, and the
+// evaluation traces under the optimized and baseline layouts. Prepare
+// computes that state once; the tables then replay the traces into
+// whatever cache organisation they measure.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"impact/internal/core"
+	"impact/internal/interp"
+	"impact/internal/layout"
+	"impact/internal/memtrace"
+	"impact/internal/workload"
+)
+
+// Prepared bundles one benchmark's pipeline outputs.
+type Prepared struct {
+	Bench *workload.Benchmark
+	// Opt is the full-pipeline result (inlined program + layout).
+	Opt *core.Result
+	// OptTrace is the evaluation trace under the optimized layout.
+	OptTrace *memtrace.Trace
+	// NatTrace is the evaluation trace of the original (un-inlined)
+	// program under the natural declaration-order layout — the
+	// conventional-compiler baseline.
+	NatTrace *memtrace.Trace
+	// OptRun / NatRun are the evaluation execution summaries.
+	OptRun interp.Result
+	NatRun interp.Result
+}
+
+// Name returns the benchmark name.
+func (p *Prepared) Name() string { return p.Bench.Name() }
+
+// Suite is the prepared experiment state for all benchmarks.
+type Suite struct {
+	Items []*Prepared
+}
+
+// Prepare builds the benchmark suite at the given dynamic scale and
+// runs the full pipeline on every benchmark. Scale 1.0 reproduces the
+// default experiment lengths; tests use smaller scales.
+func Prepare(scale float64) (*Suite, error) {
+	return PrepareBenchmarks(workload.Suite(scale))
+}
+
+// PrepareBenchmarks runs the pipeline on the given benchmarks,
+// in parallel across CPUs.
+func PrepareBenchmarks(benchmarks []*workload.Benchmark) (*Suite, error) {
+	items := make([]*Prepared, len(benchmarks))
+	errs := make([]error, len(benchmarks))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, b := range benchmarks {
+		wg.Add(1)
+		go func(i int, b *workload.Benchmark) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			items[i], errs[i] = prepareOne(b)
+		}(i, b)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", benchmarks[i].Name(), err)
+		}
+	}
+	return &Suite{Items: items}, nil
+}
+
+func prepareOne(b *workload.Benchmark) (*Prepared, error) {
+	cfg := core.DefaultConfig(b.ProfileSeeds...)
+	cfg.Interp = b.InterpConfig()
+	res, err := core.Optimize(b.Prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	optTr, optRun, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
+	if err != nil {
+		return nil, err
+	}
+	natTr, natRun, err := layout.Trace(layout.Natural(b.Prog), b.EvalSeed, b.EvalConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		Bench:    b,
+		Opt:      res,
+		OptTrace: optTr,
+		NatTrace: natTr,
+		OptRun:   optRun,
+		NatRun:   natRun,
+	}, nil
+}
+
+// byName returns the prepared benchmark with the given name, or nil.
+func (s *Suite) byName(name string) *Prepared {
+	for _, p := range s.Items {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"impact/internal/cache"
+	"impact/internal/core"
+	"impact/internal/ir"
+	"impact/internal/texttable"
+)
+
+// Table9Scales are the code scaling factors of the paper's Table 9.
+var Table9Scales = []float64{0.5, 0.7, 1.0, 1.1}
+
+// Table9Row holds one benchmark's partial-loading results across code
+// scales.
+type Table9Row struct {
+	Name    string
+	Results map[float64]CacheResult // keyed by scale factor
+}
+
+// Table9 reproduces the code scaling experiment: every basic block's
+// instruction count is scaled uniformly (simulating denser or sparser
+// instruction encodings), the whole placement pipeline re-runs on the
+// scaled program, and the 2KB/64B partial-loading cache is measured.
+func Table9(s *Suite) ([]Table9Row, error) {
+	var out []Table9Row
+	for _, p := range s.Items {
+		row := Table9Row{Name: p.Name(), Results: make(map[float64]CacheResult)}
+		for _, factor := range Table9Scales {
+			res, err := scaleResult(p, factor)
+			if err != nil {
+				return nil, fmt.Errorf("%s at scale %v: %w", p.Name(), factor, err)
+			}
+			row.Results[factor] = res
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// scaleResult runs the full pipeline and the 2KB/64B partial-loading
+// measurement on a code-scaled copy of the benchmark.
+func scaleResult(p *Prepared, factor float64) (CacheResult, error) {
+	b := p.Bench
+	var res *core.Result
+	var err error
+	if factor == 1.0 {
+		res = p.Opt // reuse the prepared pipeline output
+	} else {
+		scaled := ir.ScaleCode(b.Prog, factor)
+		cfg := core.DefaultConfig(b.ProfileSeeds...)
+		cfg.Interp = b.InterpConfig()
+		res, err = core.Optimize(scaled, cfg)
+		if err != nil {
+			return CacheResult{}, err
+		}
+	}
+	tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
+	if err != nil {
+		return CacheResult{}, err
+	}
+	st, err := cache.Simulate(cache.Config{
+		SizeBytes: 2048, BlockBytes: 64, Assoc: 1, PartialLoad: true,
+	}, tr)
+	if err != nil {
+		return CacheResult{}, err
+	}
+	return CacheResult{Miss: st.MissRatio(), Traffic: st.TrafficRatio()}, nil
+}
+
+// RenderTable9 formats Table 9.
+func RenderTable9(rows []Table9Row) string {
+	headers := []string{"name"}
+	for _, f := range Table9Scales {
+		headers = append(headers, fmt.Sprintf("%.1f miss", f), fmt.Sprintf("%.1f traffic", f))
+	}
+	t := texttable.New("Table 9. Effect of Code Scaling (2KB/64B direct-mapped, partial loading)", headers...)
+	for _, r := range rows {
+		cells := []any{r.Name}
+		for _, f := range Table9Scales {
+			cells = append(cells, texttable.Pct3(r.Results[f].Miss), texttable.Pct(r.Results[f].Traffic))
+		}
+		t.Row(cells...)
+	}
+	return t.String()
+}

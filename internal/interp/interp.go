@@ -1,0 +1,287 @@
+// Package interp executes IR programs under their behavioural model.
+//
+// The engine is the reproduction's stand-in for running a compiled
+// benchmark on real hardware with a real input: it walks a program's
+// control-flow graphs, choosing among a block's outgoing arcs according
+// to their behavioural probabilities with a deterministic, seeded PRNG.
+// One seed plays the role of one input file; the paper's "runs" (Table
+// 2) become runs of this engine with distinct seeds.
+//
+// Two consumers sit on top of the engine via the Sink interface:
+// internal/profile implements the IMPACT-I profiler (node and arc
+// weights of the call graph and control graphs), and internal/layout
+// implements the dynamic-trace generator that feeds the cache
+// simulator. Both observe the same execution events, mirroring the
+// paper where the instrumented binary and the traced binary execute
+// the same program.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"impact/internal/ir"
+	"impact/internal/xrand"
+)
+
+// Sink receives execution events. Methods are called in program order.
+type Sink interface {
+	// EnterBlock is called once each time control enters block b of
+	// function f, before any of its instructions execute.
+	EnterBlock(f ir.FuncID, b ir.BlockID)
+	// Exec is called for each maximal run of sequentially executed
+	// instructions [lo, hi) within block b. A block's execution emits
+	// one Exec per segment between calls.
+	Exec(f ir.FuncID, b ir.BlockID, lo, hi int32)
+	// TakeArc is called when control leaves block b of f via its
+	// arcIdx-th outgoing arc.
+	TakeArc(f ir.FuncID, b ir.BlockID, arcIdx int32)
+	// Call is called when the call at site transfers control to
+	// callee, after the Exec covering the call instruction.
+	Call(site ir.CallSite, callee ir.FuncID)
+	// Return is called when function f returns to its caller (or, for
+	// the entry function, terminates the program).
+	Return(f ir.FuncID)
+}
+
+// NopSink discards all events. Embed it to implement partial sinks.
+type NopSink struct{}
+
+func (NopSink) EnterBlock(ir.FuncID, ir.BlockID)         {}
+func (NopSink) Exec(ir.FuncID, ir.BlockID, int32, int32) {}
+func (NopSink) TakeArc(ir.FuncID, ir.BlockID, int32)     {}
+func (NopSink) Call(ir.CallSite, ir.FuncID)              {}
+func (NopSink) Return(ir.FuncID)                         {}
+
+// Config controls one execution.
+type Config struct {
+	// MaxSteps caps the number of executed instructions. Zero means
+	// DefaultMaxSteps. Reaching the cap stops the run gracefully with
+	// Result.Completed == false.
+	MaxSteps uint64
+	// MaxDepth caps the call stack depth; exceeding it is an error.
+	// Zero means DefaultMaxDepth.
+	MaxDepth int
+	// ProbJitter perturbs every arc probability by a per-run random
+	// factor in [1-ProbJitter, 1+ProbJitter] (then renormalises), so
+	// that different seeds behave like genuinely different inputs
+	// rather than resamples of one input. Must be in [0, 1).
+	ProbJitter float64
+}
+
+// DefaultMaxSteps bounds runaway executions; realistic runs configure
+// an explicit budget well below this.
+const DefaultMaxSteps = 1 << 40
+
+// DefaultMaxDepth is the default call-stack limit.
+const DefaultMaxDepth = 4096
+
+// Result summarises one execution.
+type Result struct {
+	// Instrs is the number of instructions executed (= dynamic
+	// instruction accesses in the paper's terms).
+	Instrs uint64
+	// Branches is the number of taken intra-function control
+	// transfers (the paper's "control" column of Table 2 counts
+	// control transfers other than call/return).
+	Branches uint64
+	// Calls is the number of executed call instructions.
+	Calls uint64
+	// Returns is the number of executed return instructions.
+	Returns uint64
+	// Completed reports whether the program ran to completion (entry
+	// function returned) rather than hitting the step cap.
+	Completed bool
+}
+
+type frame struct {
+	f     ir.FuncID
+	b     ir.BlockID
+	instr int32
+	site  ir.CallSite // call site that created this frame (for debugging)
+}
+
+// Engine executes one program. An Engine precomputes per-block call
+// positions and per-run jittered arc probabilities, so constructing
+// one Engine and running it many times with different seeds is cheap.
+type Engine struct {
+	prog *ir.Program
+	// callPos[f][b] lists instruction indices of calls in the block.
+	callPos [][][]int32
+}
+
+// NewEngine prepares p for execution. The program must be valid.
+func NewEngine(p *ir.Program) *Engine {
+	e := &Engine{prog: p}
+	e.callPos = make([][][]int32, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		e.callPos[fi] = make([][]int32, len(f.Blocks))
+		for bi, b := range f.Blocks {
+			for j, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					e.callPos[fi][bi] = append(e.callPos[fi][bi], int32(j))
+				}
+			}
+		}
+	}
+	return e
+}
+
+// ErrDepthExceeded reports that the call stack grew past MaxDepth.
+var ErrDepthExceeded = errors.New("interp: call depth exceeded")
+
+// Run executes the program with the given seed as its "input",
+// streaming events to sink.
+func (e *Engine) Run(seed uint64, cfg Config, sink Sink) (Result, error) {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = DefaultMaxDepth
+	}
+	if cfg.ProbJitter < 0 || cfg.ProbJitter >= 1 {
+		return Result{}, fmt.Errorf("interp: ProbJitter %v outside [0, 1)", cfg.ProbJitter)
+	}
+	rng := xrand.New(xrand.Seed(seed, 0x45c0))
+	probs := e.jitteredProbs(xrand.Seed(seed, 0x11f7), cfg.ProbJitter)
+
+	var res Result
+	prog := e.prog
+	entry := prog.EntryFunc()
+	stack := make([]frame, 1, 64)
+	stack[0] = frame{f: prog.Entry, b: entry.Entry, instr: 0}
+
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		fn := prog.Funcs[fr.f]
+		blk := fn.Blocks[fr.b]
+
+		if fr.instr == 0 {
+			// Control has just arrived at the top of this block
+			// (function entry or taken arc); a return into the middle
+			// of a block resumes with instr > 0 and does not re-enter.
+			sink.EnterBlock(fr.f, fr.b)
+		}
+
+		// Execute up to the next call in this block, or to the end.
+		next := int32(len(blk.Instrs))
+		isCall := false
+		for _, cp := range e.callPos[fr.f][fr.b] {
+			if cp >= fr.instr {
+				next = cp
+				isCall = true
+				break
+			}
+		}
+		if isCall {
+			// Segment includes the call instruction itself.
+			lo, hi := fr.instr, next+1
+			if hi > lo {
+				sink.Exec(fr.f, fr.b, lo, hi)
+				res.Instrs += uint64(hi - lo)
+			}
+			res.Calls++
+			callee := blk.Instrs[next].Callee
+			site := ir.CallSite{Func: fr.f, Block: fr.b, Instr: next}
+			sink.Call(site, callee)
+			fr.instr = next + 1
+			if len(stack) >= cfg.MaxDepth {
+				return res, fmt.Errorf("%w (depth %d at %s calling %s)",
+					ErrDepthExceeded, len(stack), fn.Name, prog.Funcs[callee].Name)
+			}
+			cf := prog.Funcs[callee]
+			stack = append(stack, frame{f: callee, b: cf.Entry, instr: 0, site: site})
+			if res.Instrs >= cfg.MaxSteps {
+				return res, nil
+			}
+			continue
+		}
+
+		// Block runs to completion.
+		lo, hi := fr.instr, int32(len(blk.Instrs))
+		if hi > lo {
+			sink.Exec(fr.f, fr.b, lo, hi)
+			res.Instrs += uint64(hi - lo)
+		}
+		if len(blk.Out) == 0 {
+			// Function exit.
+			res.Returns++
+			sink.Return(fr.f)
+			stack = stack[:len(stack)-1]
+			if res.Instrs >= cfg.MaxSteps {
+				return res, nil
+			}
+			continue
+		}
+		arcIdx := chooseArc(probs[fr.f][fr.b], rng)
+		sink.TakeArc(fr.f, fr.b, int32(arcIdx))
+		res.Branches++
+		fr.b = blk.Out[arcIdx].To
+		fr.instr = 0
+		if res.Instrs >= cfg.MaxSteps {
+			return res, nil
+		}
+	}
+	res.Completed = true
+	return res, nil
+}
+
+// jitteredProbs builds per-run cumulative arc probability tables.
+//
+// The jitter factor of an arc is a pure function of the run seed and
+// the arc's shape (its probability, index, and fan-out), NOT of the
+// arc's position in the program. This matters for comparing layouts
+// and transformed programs: inline expansion clones arcs with
+// identical probabilities, so under this scheme the same input seed
+// makes identical branch decisions on the original and the inlined
+// program — exactly as one input file drives one control-flow history
+// regardless of how the compiler arranged the code.
+func (e *Engine) jitteredProbs(seed uint64, jitter float64) [][][]float64 {
+	out := make([][][]float64, len(e.prog.Funcs))
+	for fi, f := range e.prog.Funcs {
+		out[fi] = make([][]float64, len(f.Blocks))
+		for bi, b := range f.Blocks {
+			if len(b.Out) == 0 {
+				continue
+			}
+			cum := make([]float64, len(b.Out))
+			var total float64
+			for k, a := range b.Out {
+				p := a.Prob
+				if jitter > 0 && p > 0 && len(b.Out) > 1 {
+					u := float64(xrand.Seed(seed, math.Float64bits(p), uint64(k), uint64(len(b.Out)))>>11) / (1 << 53)
+					p *= 1 + jitter*(2*u-1)
+				}
+				total += p
+				cum[k] = total
+			}
+			// Renormalise so the final entry is exactly 1.
+			for k := range cum {
+				cum[k] /= total
+			}
+			cum[len(cum)-1] = 1
+			out[fi][bi] = cum
+		}
+	}
+	return out
+}
+
+func chooseArc(cum []float64, rng *xrand.RNG) int {
+	if len(cum) == 1 {
+		return 0
+	}
+	x := rng.Float64()
+	if len(cum) == 2 {
+		if x < cum[0] {
+			return 0
+		}
+		return 1
+	}
+	for i, c := range cum {
+		if x < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}

@@ -1,0 +1,144 @@
+package ir
+
+import "fmt"
+
+// ProgramBuilder assembles a Program incrementally. It exists so that
+// workload synthesis and tests can construct well-formed IR without
+// manually maintaining the ID-equals-index invariants.
+type ProgramBuilder struct {
+	prog *Program
+}
+
+// NewProgramBuilder returns an empty builder.
+func NewProgramBuilder() *ProgramBuilder {
+	return &ProgramBuilder{prog: &Program{Entry: NoFunc}}
+}
+
+// NewFunc adds a function with the given name and returns a builder
+// for its body. The first block added to the function becomes its
+// entry block unless SetEntry is called.
+func (pb *ProgramBuilder) NewFunc(name string) *FuncBuilder {
+	f := &Function{
+		ID:    FuncID(len(pb.prog.Funcs)),
+		Name:  name,
+		Entry: NoBlock,
+	}
+	pb.prog.Funcs = append(pb.prog.Funcs, f)
+	return &FuncBuilder{fn: f}
+}
+
+// SetEntry declares the program's entry function.
+func (pb *ProgramBuilder) SetEntry(f FuncID) { pb.prog.Entry = f }
+
+// Peek returns the program under construction without validating it.
+// Generators use it to set function-level attributes (such as
+// NoInline) before Build; the returned program must not escape until
+// Build has validated it.
+func (pb *ProgramBuilder) Peek() *Program { return pb.prog }
+
+// Build validates and returns the program. It panics on malformed IR;
+// builders are used by generators and tests where a malformed program
+// is a programming error, not an input error.
+func (pb *ProgramBuilder) Build() *Program {
+	if pb.prog.Entry == NoFunc && len(pb.prog.Funcs) > 0 {
+		pb.prog.Entry = 0
+	}
+	if err := Validate(pb.prog); err != nil {
+		panic(fmt.Sprintf("ir: builder produced invalid program: %v", err))
+	}
+	return pb.prog
+}
+
+// FuncBuilder assembles one function's CFG.
+type FuncBuilder struct {
+	fn *Function
+}
+
+// ID returns the function's ID.
+func (fb *FuncBuilder) ID() FuncID { return fb.fn.ID }
+
+// NewBlock adds an empty block and returns its ID. The first block
+// becomes the function entry.
+func (fb *FuncBuilder) NewBlock() BlockID {
+	id := BlockID(len(fb.fn.Blocks))
+	fb.fn.Blocks = append(fb.fn.Blocks, &Block{ID: id})
+	if fb.fn.Entry == NoBlock {
+		fb.fn.Entry = id
+	}
+	return id
+}
+
+// SetEntry overrides the function entry block.
+func (fb *FuncBuilder) SetEntry(b BlockID) { fb.fn.Entry = b }
+
+// Append adds an instruction to block b.
+func (fb *FuncBuilder) Append(b BlockID, in Instr) {
+	blk := fb.fn.Blocks[b]
+	blk.Instrs = append(blk.Instrs, in)
+}
+
+// Fill appends n non-control instructions to block b, cycling through
+// ALU/load/store in a fixed pattern so instruction mixes look
+// realistic without another source of randomness.
+func (fb *FuncBuilder) Fill(b BlockID, n int) {
+	blk := fb.fn.Blocks[b]
+	for i := 0; i < n; i++ {
+		op := OpALU
+		switch i % 4 {
+		case 1:
+			op = OpLoad
+		case 3:
+			op = OpStore
+		}
+		blk.Instrs = append(blk.Instrs, Instr{Op: op, Callee: NoFunc})
+	}
+}
+
+// Call appends a call instruction to block b.
+func (fb *FuncBuilder) Call(b BlockID, callee FuncID) {
+	fb.Append(b, Instr{Op: OpCall, Callee: callee})
+}
+
+// Ret appends a return instruction to block b, marking it a function
+// exit. The block must not be given outgoing arcs.
+func (fb *FuncBuilder) Ret(b BlockID) {
+	fb.Append(b, Instr{Op: OpRet, Callee: NoFunc})
+}
+
+// Jump connects b to target with probability 1 and appends an OpJump
+// terminator.
+func (fb *FuncBuilder) Jump(b, target BlockID) {
+	fb.Append(b, Instr{Op: OpJump, Callee: NoFunc})
+	fb.fn.Blocks[b].Out = []Arc{{To: target, Prob: 1}}
+}
+
+// FallThrough connects b to target with probability 1 without adding a
+// terminator instruction (the hardware falls through).
+func (fb *FuncBuilder) FallThrough(b, target BlockID) {
+	fb.fn.Blocks[b].Out = []Arc{{To: target, Prob: 1}}
+}
+
+// Branch appends an OpBranch terminator to b and connects it to the
+// given targets with the given behavioural probabilities. The
+// probabilities are normalised to sum to 1.
+func (fb *FuncBuilder) Branch(b BlockID, arcs ...Arc) {
+	if len(arcs) < 2 {
+		panic("ir: Branch needs at least two arcs")
+	}
+	var total float64
+	for _, a := range arcs {
+		if a.Prob < 0 {
+			panic("ir: Branch with negative probability")
+		}
+		total += a.Prob
+	}
+	if total <= 0 {
+		panic("ir: Branch with zero total probability")
+	}
+	out := make([]Arc, len(arcs))
+	for i, a := range arcs {
+		out[i] = Arc{To: a.To, Prob: a.Prob / total}
+	}
+	fb.Append(b, Instr{Op: OpBranch, Callee: NoFunc})
+	fb.fn.Blocks[b].Out = out
+}

@@ -1,0 +1,38 @@
+package ir
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode checks that the textual IR parser never panics and that
+// anything it accepts re-encodes and re-parses to the same program
+// (decode-encode-decode fixed point).
+func FuzzDecode(f *testing.F) {
+	f.Add("program entry=0\nfunc 0 main\nblock 0 entry\n alu*3\n ret\n")
+	f.Add("program entry=1\nfunc 0 leaf\nblock 0 entry\n alu load\n ret\n" +
+		"func 1 main\nblock 0 entry\n call:0\n branch\n -> 0 0.5\n -> 1 0.5\nblock 1\n ret\n")
+	f.Add("# comment\nprogram entry=0\n\nfunc 0 f\nblock 0 entry\n jump\n -> 0 1\n")
+	f.Add("garbage")
+	f.Add("program entry=0\nfunc 0 f noinline\nblock 0 entry\n store*64\n ret\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Decode(strings.NewReader(src))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, p); err != nil {
+			t.Fatalf("accepted program failed to encode: %v", err)
+		}
+		q, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded program rejected: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("decode-encode-decode not a fixed point")
+		}
+	})
+}

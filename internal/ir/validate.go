@@ -1,0 +1,158 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Validate checks the structural invariants every Program must satisfy
+// before the pipeline will accept it:
+//
+//   - IDs equal slice indices for functions and blocks.
+//   - Every function has a valid entry block.
+//   - Arcs stay within the function and their probabilities are
+//     non-negative and sum to 1 per block.
+//   - Blocks without outgoing arcs end with OpRet; OpRet appears only
+//     as the last instruction of such blocks.
+//   - OpBranch/OpJump appear only as block terminators with the
+//     matching arc count.
+//   - Call targets are valid function IDs.
+//   - From every block of a function, some exit block is reachable
+//     (so execution can always terminate).
+//   - The program entry function is valid.
+func Validate(p *Program) error {
+	if p == nil {
+		return fmt.Errorf("nil program")
+	}
+	if p.Entry < 0 || int(p.Entry) >= len(p.Funcs) {
+		return fmt.Errorf("program entry %d out of range (%d funcs)", p.Entry, len(p.Funcs))
+	}
+	for i, f := range p.Funcs {
+		if f.ID != FuncID(i) {
+			return fmt.Errorf("func %q: ID %d != index %d", f.Name, f.ID, i)
+		}
+		if err := validateFunc(p, f); err != nil {
+			return fmt.Errorf("func %q: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func validateFunc(p *Program, f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	if f.Entry < 0 || int(f.Entry) >= len(f.Blocks) {
+		return fmt.Errorf("entry %d out of range (%d blocks)", f.Entry, len(f.Blocks))
+	}
+	for i, b := range f.Blocks {
+		if b.ID != BlockID(i) {
+			return fmt.Errorf("block %d: ID %d != index", i, b.ID)
+		}
+		if err := validateBlock(p, f, b); err != nil {
+			return fmt.Errorf("block %d: %w", i, err)
+		}
+	}
+	return validateExitReachability(f)
+}
+
+func validateBlock(p *Program, f *Function, b *Block) error {
+	for j, in := range b.Instrs {
+		last := j == len(b.Instrs)-1
+		switch in.Op {
+		case OpCall:
+			if in.Callee < 0 || int(in.Callee) >= len(p.Funcs) {
+				return fmt.Errorf("instr %d: call target %d out of range", j, in.Callee)
+			}
+		case OpRet:
+			if !last {
+				return fmt.Errorf("instr %d: ret not last in block", j)
+			}
+			if len(b.Out) != 0 {
+				return fmt.Errorf("ret block has %d outgoing arcs", len(b.Out))
+			}
+		case OpBranch:
+			if !last {
+				return fmt.Errorf("instr %d: branch not last in block", j)
+			}
+			if len(b.Out) < 2 {
+				return fmt.Errorf("branch block has %d arcs, want >= 2", len(b.Out))
+			}
+		case OpJump:
+			if !last {
+				return fmt.Errorf("instr %d: jump not last in block", j)
+			}
+			if len(b.Out) != 1 {
+				return fmt.Errorf("jump block has %d arcs, want 1", len(b.Out))
+			}
+		case OpALU, OpLoad, OpStore:
+			// No constraints.
+		default:
+			return fmt.Errorf("instr %d: unknown opcode %d", j, in.Op)
+		}
+	}
+	if len(b.Out) == 0 {
+		if len(b.Instrs) == 0 || b.Instrs[len(b.Instrs)-1].Op != OpRet {
+			return fmt.Errorf("exit block does not end with ret")
+		}
+		return nil
+	}
+	var total float64
+	for k, a := range b.Out {
+		if a.To < 0 || int(a.To) >= len(f.Blocks) {
+			return fmt.Errorf("arc %d: target %d out of range", k, a.To)
+		}
+		if a.Prob < 0 || math.IsNaN(a.Prob) {
+			return fmt.Errorf("arc %d: bad probability %v", k, a.Prob)
+		}
+		total += a.Prob
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return fmt.Errorf("arc probabilities sum to %v, want 1", total)
+	}
+	return nil
+}
+
+// validateExitReachability checks that from every block, an exit block
+// (no outgoing arcs) is reachable through arcs with positive
+// probability. Without this property the execution engine could loop
+// forever regardless of how long it runs: a cycle whose only escape is
+// a zero-probability arc never terminates.
+func validateExitReachability(f *Function) error {
+	// Reverse BFS from all exit blocks over positive-probability arcs.
+	preds := make([][]BlockID, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, a := range b.Out {
+			if a.Prob > 0 {
+				preds[a.To] = append(preds[a.To], b.ID)
+			}
+		}
+	}
+	reach := make([]bool, len(f.Blocks))
+	var queue []BlockID
+	for _, b := range f.Blocks {
+		if len(b.Out) == 0 {
+			reach[b.ID] = true
+			queue = append(queue, b.ID)
+		}
+	}
+	if len(queue) == 0 {
+		return fmt.Errorf("no exit block")
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, pr := range preds[b] {
+			if !reach[pr] {
+				reach[pr] = true
+				queue = append(queue, pr)
+			}
+		}
+	}
+	for i, ok := range reach {
+		if !ok {
+			return fmt.Errorf("block %d cannot reach any exit", i)
+		}
+	}
+	return nil
+}

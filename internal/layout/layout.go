@@ -1,0 +1,175 @@
+// Package layout assigns memory addresses to basic blocks and turns
+// executions into instruction-address traces.
+//
+// A Layout maps every block of a program to a byte address. The
+// placement passes in internal/core produce an ordered list of block
+// references (a Placement); this package turns any such order into
+// addresses, and provides the two reference layouts the paper
+// implicitly compares against: the natural layout (declaration order,
+// what a conventional compiler and linker emit) and a random layout.
+//
+// The Tracer bridges the execution engine to the cache simulator: it
+// converts Exec events into sequential fetch runs using the layout's
+// addresses. Running the same program under two layouts yields two
+// different address traces — which is precisely how instruction
+// placement affects cache behaviour.
+package layout
+
+import (
+	"fmt"
+
+	"impact/internal/interp"
+	"impact/internal/ir"
+	"impact/internal/memtrace"
+	"impact/internal/xrand"
+)
+
+// BlockRef names one basic block of a program.
+type BlockRef struct {
+	F ir.FuncID
+	B ir.BlockID
+}
+
+// Placement is a complete memory order for a program: every block
+// appears exactly once, and blocks are placed contiguously in slice
+// order starting at address 0.
+type Placement struct {
+	Order []BlockRef
+}
+
+// Layout maps blocks to byte addresses.
+type Layout struct {
+	prog *ir.Program
+	// addr[f][b] is the byte address of the block's first instruction.
+	addr [][]uint32
+	// Total is one past the highest code byte.
+	Total uint32
+}
+
+// Program returns the program this layout addresses.
+func (l *Layout) Program() *ir.Program { return l.prog }
+
+// BlockAddr returns the byte address of block b in function f.
+func (l *Layout) BlockAddr(f ir.FuncID, b ir.BlockID) uint32 { return l.addr[f][b] }
+
+// InstrAddr returns the byte address of instruction i of block b.
+func (l *Layout) InstrAddr(f ir.FuncID, b ir.BlockID, i int32) uint32 {
+	return l.addr[f][b] + uint32(i)*ir.InstrBytes
+}
+
+// FromPlacement assigns addresses following pl's order. It returns an
+// error unless pl covers every block of p exactly once.
+func FromPlacement(p *ir.Program, pl Placement) (*Layout, error) {
+	l := &Layout{prog: p, addr: make([][]uint32, len(p.Funcs))}
+	seen := make([][]bool, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		l.addr[fi] = make([]uint32, len(f.Blocks))
+		seen[fi] = make([]bool, len(f.Blocks))
+	}
+	var at uint32
+	for _, ref := range pl.Order {
+		if ref.F < 0 || int(ref.F) >= len(p.Funcs) {
+			return nil, fmt.Errorf("layout: placement references func %d of %d", ref.F, len(p.Funcs))
+		}
+		f := p.Funcs[ref.F]
+		if ref.B < 0 || int(ref.B) >= len(f.Blocks) {
+			return nil, fmt.Errorf("layout: placement references block %d of %d in %q", ref.B, len(f.Blocks), f.Name)
+		}
+		if seen[ref.F][ref.B] {
+			return nil, fmt.Errorf("layout: block %q/%d placed twice", f.Name, ref.B)
+		}
+		seen[ref.F][ref.B] = true
+		l.addr[ref.F][ref.B] = at
+		at += uint32(f.Blocks[ref.B].Bytes())
+	}
+	for fi, f := range p.Funcs {
+		for bi := range f.Blocks {
+			if !seen[fi][bi] {
+				return nil, fmt.Errorf("layout: block %q/%d not placed", f.Name, bi)
+			}
+		}
+	}
+	l.Total = at
+	return l, nil
+}
+
+// Natural returns the declaration-order layout: functions in FuncID
+// order, blocks in BlockID order. This models what a conventional
+// compiler emits with no placement optimization and serves as the
+// baseline layout throughout the evaluation.
+func Natural(p *ir.Program) *Layout {
+	var pl Placement
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			pl.Order = append(pl.Order, BlockRef{F: f.ID, B: b.ID})
+		}
+	}
+	l, err := FromPlacement(p, pl)
+	if err != nil {
+		panic(fmt.Sprintf("layout: natural placement invalid: %v", err))
+	}
+	return l
+}
+
+// Random returns a layout with functions in random order and each
+// function's non-entry blocks randomly permuted (the entry block stays
+// first within its function, as any real code generator keeps the
+// function prologue at the function's address). It is the adversarial
+// baseline: all sequential locality between blocks is destroyed.
+func Random(p *ir.Program, seed uint64) *Layout {
+	rng := xrand.New(xrand.Seed(seed, 0x1a70))
+	var pl Placement
+	funcOrder := rng.Perm(len(p.Funcs))
+	for _, fi := range funcOrder {
+		f := p.Funcs[fi]
+		blocks := make([]ir.BlockID, 0, len(f.Blocks))
+		for _, b := range f.Blocks {
+			if b.ID != f.Entry {
+				blocks = append(blocks, b.ID)
+			}
+		}
+		rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+		pl.Order = append(pl.Order, BlockRef{F: f.ID, B: f.Entry})
+		for _, b := range blocks {
+			pl.Order = append(pl.Order, BlockRef{F: f.ID, B: b})
+		}
+	}
+	l, err := FromPlacement(p, pl)
+	if err != nil {
+		panic(fmt.Sprintf("layout: random placement invalid: %v", err))
+	}
+	return l
+}
+
+// Tracer converts execution events into instruction fetch runs under a
+// given layout.
+type Tracer struct {
+	interp.NopSink
+	lay  *Layout
+	sink memtrace.Sink
+}
+
+// NewTracer returns a tracer feeding sink.
+func NewTracer(lay *Layout, sink memtrace.Sink) *Tracer {
+	return &Tracer{lay: lay, sink: sink}
+}
+
+// Exec translates an executed instruction range into a fetch run.
+func (t *Tracer) Exec(f ir.FuncID, b ir.BlockID, lo, hi int32) {
+	t.sink.Run(memtrace.Run{
+		Addr:  t.lay.InstrAddr(f, b, lo),
+		Bytes: uint32(hi-lo) * ir.InstrBytes,
+	})
+}
+
+// Trace runs program p once with the given seed under layout lay and
+// returns the resulting fetch trace.
+func Trace(lay *Layout, seed uint64, cfg interp.Config) (*memtrace.Trace, interp.Result, error) {
+	var tr memtrace.Trace
+	eng := interp.NewEngine(lay.Program())
+	res, err := eng.Run(seed, cfg, NewTracer(lay, &tr))
+	if err != nil {
+		return nil, res, err
+	}
+	return &tr, res, nil
+}

@@ -1,0 +1,45 @@
+package memtrace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead checks that the binary trace parser never panics and that
+// any trace it accepts round-trips through the writer unchanged.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Run(Run{Addr: 0, Bytes: 64})
+	w.Run(Run{Addr: 4096, Bytes: 8})
+	w.Run(Run{Addr: 0, Bytes: 4})
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("ITR2"))
+	f.Add([]byte("ITR1junk"))
+	f.Add([]byte{'I', 'T', 'R', '2', 0x80, 0x80, 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		wr := NewWriter(&out)
+		tr.Replay(wr)
+		if err := wr.Close(); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		if tr2.Instrs != tr.Instrs || len(tr2.Runs) != len(tr.Runs) {
+			t.Fatalf("round trip changed trace: %d/%d vs %d/%d",
+				tr.Instrs, len(tr.Runs), tr2.Instrs, len(tr2.Runs))
+		}
+	})
+}

@@ -1,0 +1,168 @@
+// Package paging measures instruction paging behaviour over fetch
+// traces — the experiment the paper lists as ongoing work: "we are
+// conducting experiments on the instruction paging performance. The
+// design parameters under investigation include working set size, page
+// size, and page sectoring."
+//
+// Two measurements are provided:
+//
+//   - Simulate: demand paging with LRU replacement over a fixed number
+//     of page frames, reporting page faults and the total pages
+//     touched. Because the global layout packs all effective code
+//     together ("when a page is transferred from the secondary memory
+//     to the main memory, all the bytes of that page are likely to be
+//     used"), the optimized layout touches fewer pages and faults
+//     less.
+//   - WorkingSet: Denning's working set — the average number of
+//     distinct pages referenced per window of W instruction fetches.
+package paging
+
+import (
+	"fmt"
+
+	"impact/internal/memtrace"
+)
+
+// Config describes a paging configuration.
+type Config struct {
+	// PageBytes is the page size; must be a power of two >= 64.
+	PageBytes int
+	// Frames is the number of resident page frames; 0 means unbounded
+	// memory (only cold faults occur).
+	Frames int
+}
+
+// Validate checks the configuration.
+func (cfg Config) Validate() error {
+	if cfg.PageBytes < 64 || cfg.PageBytes&(cfg.PageBytes-1) != 0 {
+		return fmt.Errorf("paging: page size %d is not a power of two >= 64", cfg.PageBytes)
+	}
+	if cfg.Frames < 0 {
+		return fmt.Errorf("paging: negative frame count %d", cfg.Frames)
+	}
+	return nil
+}
+
+// Stats accumulates paging results.
+type Stats struct {
+	// Accesses is the number of instruction fetches.
+	Accesses uint64
+	// Faults is the number of page faults.
+	Faults uint64
+	// PagesTouched is the number of distinct pages ever referenced —
+	// the program's instruction footprint in pages.
+	PagesTouched int
+}
+
+// FaultRate returns faults per million instruction fetches.
+func (s Stats) FaultRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Faults) / float64(s.Accesses) * 1e6
+}
+
+// Simulate runs demand paging with LRU replacement over tr.
+func Simulate(cfg Config, tr *memtrace.Trace) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	type entry struct {
+		stamp uint64
+	}
+	resident := make(map[uint32]*entry)
+	touched := make(map[uint32]bool)
+	var clock uint64
+	pageShift := uint(0)
+	for 1<<pageShift != cfg.PageBytes {
+		pageShift++
+	}
+
+	evict := func() {
+		var victim uint32
+		var oldest uint64 = ^uint64(0)
+		for p, e := range resident {
+			if e.stamp < oldest {
+				oldest = e.stamp
+				victim = p
+			}
+		}
+		delete(resident, victim)
+	}
+
+	for _, r := range tr.Runs {
+		st.Accesses += uint64(r.Words())
+		first := r.Addr >> pageShift
+		last := (r.Addr + r.Bytes - 1) >> pageShift
+		for p := first; p <= last; p++ {
+			clock++
+			touched[p] = true
+			if e, ok := resident[p]; ok {
+				e.stamp = clock
+				continue
+			}
+			st.Faults++
+			if cfg.Frames > 0 && len(resident) >= cfg.Frames {
+				evict()
+			}
+			resident[p] = &entry{stamp: clock}
+		}
+	}
+	st.PagesTouched = len(touched)
+	return st, nil
+}
+
+// WorkingSet returns the average number of distinct pages referenced
+// per window of windowInstrs instruction fetches (tumbling windows;
+// partial final window excluded). It returns 0 for traces shorter
+// than one window.
+func WorkingSet(tr *memtrace.Trace, pageBytes int, windowInstrs uint64) (float64, error) {
+	if pageBytes < 64 || pageBytes&(pageBytes-1) != 0 {
+		return 0, fmt.Errorf("paging: page size %d is not a power of two >= 64", pageBytes)
+	}
+	if windowInstrs == 0 {
+		return 0, fmt.Errorf("paging: zero window")
+	}
+	pageShift := uint(0)
+	for 1<<pageShift != pageBytes {
+		pageShift++
+	}
+
+	window := make(map[uint32]bool)
+	var inWindow uint64
+	var windows int
+	var totalPages int
+
+	flush := func() {
+		totalPages += len(window)
+		windows++
+		window = make(map[uint32]bool)
+		inWindow = 0
+	}
+
+	for _, r := range tr.Runs {
+		words := uint64(r.Words())
+		// Split the run across window boundaries.
+		addr := r.Addr
+		for words > 0 {
+			take := windowInstrs - inWindow
+			if take > words {
+				take = words
+			}
+			for p := addr >> pageShift; p <= (addr+uint32(take*4)-1)>>pageShift; p++ {
+				window[p] = true
+			}
+			addr += uint32(take * 4)
+			words -= take
+			inWindow += take
+			if inWindow == windowInstrs {
+				flush()
+			}
+		}
+	}
+	if windows == 0 {
+		return 0, nil
+	}
+	return float64(totalPages) / float64(windows), nil
+}

@@ -1,0 +1,162 @@
+package paging
+
+import (
+	"testing"
+	"testing/quick"
+
+	"impact/internal/memtrace"
+	"impact/internal/xrand"
+)
+
+func run(addr, bytes uint32) memtrace.Run { return memtrace.Run{Addr: addr, Bytes: bytes} }
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{PageBytes: 0},
+		{PageBytes: 100},
+		{PageBytes: 32},
+		{PageBytes: 4096, Frames: -1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if err := (Config{PageBytes: 4096, Frames: 8}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColdFaultsOnly(t *testing.T) {
+	var tr memtrace.Trace
+	tr.Run(run(0, 4096))    // page 0
+	tr.Run(run(8192, 4096)) // page 2
+	tr.Run(run(0, 4096))    // page 0 again: resident
+	st, err := Simulate(Config{PageBytes: 4096}, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Faults != 2 || st.PagesTouched != 2 {
+		t.Fatalf("stats %+v, want 2 faults / 2 pages", st)
+	}
+	if st.Accesses != tr.Instrs {
+		t.Fatalf("accesses %d != instrs %d", st.Accesses, tr.Instrs)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 frames; touch pages 0, 1, 2 (evicts 0), then 0 again: fault.
+	var tr memtrace.Trace
+	tr.Run(run(0, 4))
+	tr.Run(run(4096, 4))
+	tr.Run(run(8192, 4))
+	tr.Run(run(0, 4))
+	st, err := Simulate(Config{PageBytes: 4096, Frames: 2}, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Faults != 4 {
+		t.Fatalf("faults = %d, want 4", st.Faults)
+	}
+}
+
+func TestRunSpanningPages(t *testing.T) {
+	var tr memtrace.Trace
+	tr.Run(run(4000, 8192)) // spans pages 0, 1, 2 (4KB pages)
+	st, err := Simulate(Config{PageBytes: 4096}, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PagesTouched != 3 || st.Faults != 3 {
+		t.Fatalf("stats %+v, want 3 pages", st)
+	}
+}
+
+func TestInclusionPropertyFrames(t *testing.T) {
+	// More frames never fault more (LRU stack property at page level).
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		var tr memtrace.Trace
+		for i := 0; i < 300; i++ {
+			tr.Run(run(uint32(r.Intn(64))*1024, uint32(r.IntRange(1, 64))*4))
+		}
+		var prev uint64
+		for _, frames := range []int{64, 16, 8, 4, 2} {
+			st, err := Simulate(Config{PageBytes: 4096, Frames: frames}, &tr)
+			if err != nil {
+				return false
+			}
+			if st.Faults < prev {
+				return false
+			}
+			prev = st.Faults
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkingSetTightLoop(t *testing.T) {
+	// A loop within one page: working set is exactly 1 page.
+	var tr memtrace.Trace
+	for i := 0; i < 1000; i++ {
+		tr.Run(run(128, 256))
+	}
+	ws, err := WorkingSet(&tr, 4096, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != 1 {
+		t.Fatalf("working set = %v, want 1", ws)
+	}
+}
+
+func TestWorkingSetSpread(t *testing.T) {
+	// Alternating between two far-apart pages: working set 2.
+	var tr memtrace.Trace
+	for i := 0; i < 500; i++ {
+		tr.Run(run(0, 64))
+		tr.Run(run(1<<20, 64))
+	}
+	ws, err := WorkingSet(&tr, 4096, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws < 1.9 || ws > 2.1 {
+		t.Fatalf("working set = %v, want ~2", ws)
+	}
+}
+
+func TestWorkingSetShortTrace(t *testing.T) {
+	var tr memtrace.Trace
+	tr.Run(run(0, 64))
+	ws, err := WorkingSet(&tr, 4096, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != 0 {
+		t.Fatalf("working set of sub-window trace = %v, want 0", ws)
+	}
+}
+
+func TestWorkingSetValidation(t *testing.T) {
+	var tr memtrace.Trace
+	if _, err := WorkingSet(&tr, 100, 10); err == nil {
+		t.Fatal("bad page size accepted")
+	}
+	if _, err := WorkingSet(&tr, 4096, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestFaultRate(t *testing.T) {
+	s := Stats{Accesses: 2_000_000, Faults: 4}
+	if got := s.FaultRate(); got != 2 {
+		t.Fatalf("FaultRate = %v, want 2 per M", got)
+	}
+	if (Stats{}).FaultRate() != 0 {
+		t.Fatal("zero stats fault rate != 0")
+	}
+}

@@ -1,0 +1,224 @@
+// Package profile implements the IMPACT-I execution profiler (paper
+// section 3, step 1).
+//
+// "In our C compiler, a program is represented by a weighted call
+// graph. ... Each node of the weighted call graph is represented by a
+// weighted control graph." This package collects exactly those
+// weights: execution counts for every function, basic block, arc, and
+// call site, accumulated over a set of profiling runs (each run is one
+// seed, standing in for one input file).
+//
+// The placement passes in internal/core consume only these measured
+// weights — never the behavioural probabilities in the IR — matching
+// the paper's profile-driven design.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"impact/internal/interp"
+	"impact/internal/ir"
+)
+
+// FuncWeights holds the weighted control graph of one function.
+type FuncWeights struct {
+	// Entries counts how many times the function was entered.
+	Entries uint64
+	// BlockW counts executions per block, indexed by BlockID.
+	BlockW []uint64
+	// ArcW counts taken arcs, parallel to Block.Out: ArcW[b][k] is the
+	// number of times block b left via its k-th outgoing arc.
+	ArcW [][]uint64
+}
+
+// CallPair identifies a caller/callee edge of the call graph.
+type CallPair struct {
+	Caller, Callee ir.FuncID
+}
+
+// Weights is a weighted call graph plus the weighted control graph of
+// every function.
+type Weights struct {
+	Funcs []FuncWeights
+	// Pairs holds call-graph arc weights: executions of calls from
+	// Caller to Callee, summed over all call sites.
+	Pairs map[CallPair]uint64
+	// Sites holds per-call-site execution counts.
+	Sites map[ir.CallSite]uint64
+
+	// Aggregate dynamic counts over all profiling runs.
+	DynInstrs   uint64
+	DynBranches uint64 // taken intra-function transfers (no call/return)
+	DynCalls    uint64
+	DynReturns  uint64
+	Runs        int
+}
+
+// NewWeights returns zeroed weights shaped for program p.
+func NewWeights(p *ir.Program) *Weights {
+	w := &Weights{
+		Funcs: make([]FuncWeights, len(p.Funcs)),
+		Pairs: make(map[CallPair]uint64),
+		Sites: make(map[ir.CallSite]uint64),
+	}
+	for i, f := range p.Funcs {
+		w.Funcs[i].BlockW = make([]uint64, len(f.Blocks))
+		w.Funcs[i].ArcW = make([][]uint64, len(f.Blocks))
+		for j, b := range f.Blocks {
+			if len(b.Out) > 0 {
+				w.Funcs[i].ArcW[j] = make([]uint64, len(b.Out))
+			}
+		}
+	}
+	return w
+}
+
+// BlockWeight returns the execution count of block b in function f.
+func (w *Weights) BlockWeight(f ir.FuncID, b ir.BlockID) uint64 {
+	return w.Funcs[f].BlockW[b]
+}
+
+// ArcWeight returns the traversal count of arc k out of block b.
+func (w *Weights) ArcWeight(f ir.FuncID, b ir.BlockID, k int) uint64 {
+	return w.Funcs[f].ArcW[b][k]
+}
+
+// FuncWeight returns the entry count of function f.
+func (w *Weights) FuncWeight(f ir.FuncID) uint64 {
+	return w.Funcs[f].Entries
+}
+
+// SiteWeight returns the execution count of one call site.
+func (w *Weights) SiteWeight(s ir.CallSite) uint64 { return w.Sites[s] }
+
+// PairWeight returns the call-graph arc weight from caller to callee.
+func (w *Weights) PairWeight(caller, callee ir.FuncID) uint64 {
+	return w.Pairs[CallPair{Caller: caller, Callee: callee}]
+}
+
+// SiteCount is a call site together with its measured weight.
+type SiteCount struct {
+	Site   ir.CallSite
+	Callee ir.FuncID
+	Count  uint64
+}
+
+// SitesByWeight returns all executed call sites of program p sorted by
+// descending weight (ties broken by site position for determinism).
+func (w *Weights) SitesByWeight(p *ir.Program) []SiteCount {
+	out := make([]SiteCount, 0, len(w.Sites))
+	for s, c := range w.Sites {
+		out = append(out, SiteCount{Site: s, Callee: p.Callee(s), Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.Site.Func != b.Site.Func {
+			return a.Site.Func < b.Site.Func
+		}
+		if a.Site.Block != b.Site.Block {
+			return a.Site.Block < b.Site.Block
+		}
+		return a.Site.Instr < b.Site.Instr
+	})
+	return out
+}
+
+// EffectiveBytes returns the number of code bytes in blocks with
+// non-zero profiled weight — the paper's "effective static bytes"
+// (Table 5).
+func (w *Weights) EffectiveBytes(p *ir.Program) int {
+	total := 0
+	for fi, f := range p.Funcs {
+		for bi, b := range f.Blocks {
+			if w.Funcs[fi].BlockW[bi] > 0 {
+				total += b.Bytes()
+			}
+		}
+	}
+	return total
+}
+
+// Check verifies that the weights are shaped for program p.
+func (w *Weights) Check(p *ir.Program) error {
+	if len(w.Funcs) != len(p.Funcs) {
+		return fmt.Errorf("profile: weights cover %d funcs, program has %d", len(w.Funcs), len(p.Funcs))
+	}
+	for i, f := range p.Funcs {
+		if len(w.Funcs[i].BlockW) != len(f.Blocks) {
+			return fmt.Errorf("profile: func %q: weights cover %d blocks, function has %d",
+				f.Name, len(w.Funcs[i].BlockW), len(f.Blocks))
+		}
+		for j, b := range f.Blocks {
+			if len(w.Funcs[i].ArcW[j]) != len(b.Out) {
+				return fmt.Errorf("profile: func %q block %d: weights cover %d arcs, block has %d",
+					f.Name, j, len(w.Funcs[i].ArcW[j]), len(b.Out))
+			}
+		}
+	}
+	return nil
+}
+
+// Collector is an interp.Sink that accumulates profile weights,
+// playing the role of the probe calls the IMPACT-I profiler inserts
+// into the instrumented program.
+type Collector struct {
+	interp.NopSink
+	W *Weights
+}
+
+// NewCollector returns a collector accumulating into w.
+func NewCollector(w *Weights) *Collector { return &Collector{W: w} }
+
+func (c *Collector) EnterBlock(f ir.FuncID, b ir.BlockID) {
+	c.W.Funcs[f].BlockW[b]++
+}
+
+func (c *Collector) TakeArc(f ir.FuncID, b ir.BlockID, arcIdx int32) {
+	c.W.Funcs[f].ArcW[b][arcIdx]++
+}
+
+func (c *Collector) Call(site ir.CallSite, callee ir.FuncID) {
+	c.W.Sites[site]++
+	c.W.Pairs[CallPair{Caller: site.Func, Callee: callee}]++
+	c.W.Funcs[callee].Entries++
+}
+
+// Config controls a profiling session.
+type Config struct {
+	// Seeds lists the profiling inputs; each seed is one run.
+	Seeds []uint64
+	// Interp configures each run (step budget, jitter).
+	Interp interp.Config
+}
+
+// Profile runs program p once per seed and returns the merged weights
+// plus the per-run execution results.
+func Profile(p *ir.Program, cfg Config) (*Weights, []interp.Result, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, nil, fmt.Errorf("profile: no seeds given")
+	}
+	w := NewWeights(p)
+	// The entry function is entered once per run but no Call event
+	// reports it; account for it explicitly.
+	eng := interp.NewEngine(p)
+	col := NewCollector(w)
+	results := make([]interp.Result, 0, len(cfg.Seeds))
+	for _, seed := range cfg.Seeds {
+		w.Funcs[p.Entry].Entries++
+		res, err := eng.Run(seed, cfg.Interp, col)
+		if err != nil {
+			return nil, nil, fmt.Errorf("profile: seed %d: %w", seed, err)
+		}
+		w.DynInstrs += res.Instrs
+		w.DynBranches += res.Branches
+		w.DynCalls += res.Calls
+		w.DynReturns += res.Returns
+		results = append(results, res)
+	}
+	w.Runs = len(cfg.Seeds)
+	return w, results, nil
+}

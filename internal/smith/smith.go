@@ -1,0 +1,37 @@
+// Package smith holds A. J. Smith's design-target miss ratios for
+// fully associative instruction caches, as quoted by the paper's
+// Table 1 (from Smith, "Line (Block) Size Choice for CPU Cache
+// Memories", IEEE ToC C-36(9), 1987).
+//
+// The paper uses these numbers as the conventional-design baseline:
+// "We will use the miss ratios in Table 1 as the basis for evaluating
+// the effectiveness of our instruction placement optimization." This
+// package reproduces them as constants so every experiment can print
+// the same comparison.
+package smith
+
+// CacheSizes lists the cache sizes (bytes) of Table 1's rows.
+var CacheSizes = []int{512, 1024, 2048, 4096}
+
+// BlockSizes lists the block sizes (bytes) of Table 1's columns.
+var BlockSizes = []int{16, 32, 64, 128}
+
+// designTarget[cacheSize][blockSize] is the expected miss ratio of a
+// fully associative instruction cache without code restructuring.
+var designTarget = map[int]map[int]float64{
+	512:  {16: 0.230, 32: 0.159, 64: 0.119, 128: 0.108},
+	1024: {16: 0.200, 32: 0.134, 64: 0.098, 128: 0.084},
+	2048: {16: 0.150, 32: 0.098, 64: 0.068, 128: 0.057},
+	4096: {16: 0.100, 32: 0.063, 64: 0.043, 128: 0.032},
+}
+
+// MissRatio returns Smith's design-target miss ratio for the given
+// cache and block size, and whether Table 1 covers that combination.
+func MissRatio(cacheBytes, blockBytes int) (float64, bool) {
+	row, ok := designTarget[cacheBytes]
+	if !ok {
+		return 0, false
+	}
+	m, ok := row[blockBytes]
+	return m, ok
+}

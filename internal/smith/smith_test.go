@@ -1,0 +1,80 @@
+package smith
+
+import "testing"
+
+func TestKnownValues(t *testing.T) {
+	// Spot checks straight from the paper's Table 1 text: "a 2048-byte
+	// fully [associative] instruction cache with 64-byte blocks is
+	// expected to give a 6.8% miss ratio", "a 1024-byte fully
+	// associative instruction cache with 32-byte blocks is expected to
+	// give a 15.9% miss ratio" — note the paper's prose example cites
+	// the 512-byte row's 32B value (15.9%); Table 1 itself lists
+	// 1024/32 as 13.4%.
+	cases := []struct {
+		cache, block int
+		want         float64
+	}{
+		{2048, 64, 0.068},
+		{512, 32, 0.159},
+		{1024, 32, 0.134},
+		{4096, 128, 0.032},
+		{512, 16, 0.230},
+	}
+	for _, c := range cases {
+		got, ok := MissRatio(c.cache, c.block)
+		if !ok {
+			t.Fatalf("MissRatio(%d, %d) not covered", c.cache, c.block)
+		}
+		if got != c.want {
+			t.Fatalf("MissRatio(%d, %d) = %v, want %v", c.cache, c.block, got, c.want)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	for _, cs := range CacheSizes {
+		for _, bs := range BlockSizes {
+			m, ok := MissRatio(cs, bs)
+			if !ok {
+				t.Fatalf("missing entry %d/%d", cs, bs)
+			}
+			if m <= 0 || m >= 1 {
+				t.Fatalf("entry %d/%d = %v out of range", cs, bs, m)
+			}
+		}
+	}
+}
+
+func TestUncoveredCombinations(t *testing.T) {
+	if _, ok := MissRatio(8192, 64); ok {
+		t.Fatal("8K covered but not in Table 1")
+	}
+	if _, ok := MissRatio(2048, 8); ok {
+		t.Fatal("8B block covered but not in Table 1")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Bigger caches miss less at every block size; bigger blocks miss
+	// less at every cache size (both hold in Table 1).
+	for _, bs := range BlockSizes {
+		prev := 1.0
+		for _, cs := range CacheSizes {
+			m, _ := MissRatio(cs, bs)
+			if m >= prev {
+				t.Fatalf("miss ratio not decreasing with cache size at block %d", bs)
+			}
+			prev = m
+		}
+	}
+	for _, cs := range CacheSizes {
+		prev := 1.0
+		for _, bs := range BlockSizes {
+			m, _ := MissRatio(cs, bs)
+			if m >= prev {
+				t.Fatalf("miss ratio not decreasing with block size at cache %d", cs)
+			}
+			prev = m
+		}
+	}
+}

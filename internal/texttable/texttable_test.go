@@ -1,0 +1,58 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendering(t *testing.T) {
+	tb := New("Table X", "name", "miss", "traffic")
+	tb.Row("cccp", Pct(0.027), Pct(0.4313))
+	tb.Row("wc", Pct(0.0), Pct(0.0006))
+	out := tb.String()
+	if !strings.HasPrefix(out, "Table X\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "traffic") {
+		t.Fatalf("bad header line: %q", lines[1])
+	}
+	if !strings.Contains(out, "2.70%") || !strings.Contains(out, "43.13%") {
+		t.Fatalf("bad percentage formatting:\n%s", out)
+	}
+	// Columns aligned: every data line has the same length as the header.
+	if len(lines[3]) != len(lines[1]) || len(lines[4]) != len(lines[1]) {
+		t.Fatalf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Row(1, 2)
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("empty title produced a leading newline")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct3(0.0005); got != "0.050%" {
+		t.Fatalf("Pct3 = %q", got)
+	}
+	if got := KB(31600); got != "30.9K" {
+		t.Fatalf("KB = %q", got)
+	}
+	if got := Mega(3_300_000); got != "3.30M" {
+		t.Fatalf("Mega = %q", got)
+	}
+}
+
+func TestFloatsFormattedCompactly(t *testing.T) {
+	tb := New("", "x", "v")
+	tb.Row("r", 3.14159)
+	if !strings.Contains(tb.String(), "3.14") || strings.Contains(tb.String(), "3.14159") {
+		t.Fatalf("float formatting wrong:\n%s", tb.String())
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"testing"
+
+	"impact/internal/ir"
+)
+
+func TestExtendedSuiteBuilds(t *testing.T) {
+	ext := ExtendedSuite(0.05)
+	if len(ext) != 12 {
+		t.Fatalf("extended suite has %d benchmarks, want 12", len(ext))
+	}
+	names := map[string]bool{}
+	for _, b := range ext {
+		if err := ir.Validate(b.Prog); err != nil {
+			t.Fatalf("%s: invalid: %v", b.Name(), err)
+		}
+		if names[b.Name()] {
+			t.Fatalf("duplicate benchmark name %s", b.Name())
+		}
+		names[b.Name()] = true
+	}
+}
+
+func TestExtendedNamesDisjointFromOriginal(t *testing.T) {
+	orig := map[string]bool{}
+	for _, p := range SuiteParams() {
+		orig[p.Name] = true
+	}
+	for _, p := range ExtendedSuiteParams() {
+		if orig[p.Name] {
+			t.Fatalf("extended benchmark %s collides with the original suite", p.Name)
+		}
+	}
+}
+
+func TestExtendedSeedsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, p := range append(SuiteParams(), ExtendedSuiteParams()...) {
+		if other, ok := seen[p.Seed]; ok {
+			t.Fatalf("%s and %s share seed %#x", p.Name, other, p.Seed)
+		}
+		seen[p.Seed] = p.Name
+	}
+}
+
+func TestFullSuite(t *testing.T) {
+	full := FullSuite(0.05)
+	if len(full) != 22 {
+		t.Fatalf("full suite has %d benchmarks, want 22", len(full))
+	}
+	if full[0].Name() != "cccp" || full[len(full)-1].Name() != "spice" {
+		t.Fatalf("full suite order wrong: %s ... %s", full[0].Name(), full[len(full)-1].Name())
+	}
+}
+
+func TestExtendedDeterministic(t *testing.T) {
+	a := ExtendedSuite(0.05)
+	b := ExtendedSuite(0.05)
+	for i := range a {
+		if a[i].Prog.Bytes() != b[i].Prog.Bytes() || a[i].EvalSeed != b[i].EvalSeed {
+			t.Fatalf("%s: not deterministic", a[i].Name())
+		}
+	}
+}
+
+func TestExtendedSizesSane(t *testing.T) {
+	for _, b := range ExtendedSuite(0.05) {
+		if got := b.Prog.Bytes(); got < 1_000 || got > 60_000 {
+			t.Errorf("%s: static size %d outside 1K-60K", b.Name(), got)
+		}
+	}
+}

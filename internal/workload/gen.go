@@ -1,0 +1,509 @@
+package workload
+
+import (
+	"fmt"
+
+	"impact/internal/ir"
+	"impact/internal/xrand"
+)
+
+// gen carries the state of one benchmark construction. Alongside the
+// IR it tracks the analytically expected dynamic cost (instructions
+// per call) of every generated function, so main's outer loop
+// probability can be solved to hit Params.TargetInstrs.
+type gen struct {
+	p  Params
+	r  *xrand.RNG
+	pb *ir.ProgramBuilder
+
+	cost      map[ir.FuncID]float64
+	utilities []ir.FuncID
+	syscalls  []ir.FuncID
+	coldFns   []ir.FuncID
+	initFns   []ir.FuncID
+	phases    []ir.FuncID
+
+	workerPool []ir.FuncID
+	// perPhaseWorkers[i] lists the workers phase i calls each trip.
+	perPhaseWorkers [][]ir.FuncID
+}
+
+func newGen(p Params) *gen {
+	return &gen{
+		p:    p,
+		r:    xrand.New(xrand.Seed(p.Seed, 0x6e61)),
+		pb:   ir.NewProgramBuilder(),
+		cost: make(map[ir.FuncID]float64),
+	}
+}
+
+// program builds the whole benchmark program and returns it with the
+// expected instruction count of one complete run.
+func (g *gen) program() (*ir.Program, float64) {
+	g.buildSyscalls()
+	g.buildUtilities()
+	g.buildColdFuncs()
+	g.assignWorkers()
+	g.buildInitFuncs()
+	g.buildPhases()
+	g.buildDeadFuncs()
+	mainID, expected := g.buildMain()
+	g.pb.SetEntry(mainID)
+	return g.pb.Build(), expected
+}
+
+func (g *gen) instrs(rng [2]int) int { return g.r.IntRange(rng[0], rng[1]) }
+
+// backProb converts an expected trip count into a back-edge
+// probability: a loop whose latch continues with probability q runs
+// the body 1/(1-q) times in expectation, so q = 1 - 1/trips.
+func backProb(trips float64) float64 {
+	if trips <= 1 {
+		return 0
+	}
+	return 1 - 1/trips
+}
+
+// jitterTrips varies a mean trip count per generated loop so loops in
+// the same program differ, like real code.
+func (g *gen) jitterTrips(mean float64) float64 {
+	t := mean * (0.5 + g.r.Float64())
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (g *gen) buildSyscalls() {
+	for i := 0; i < g.p.Syscalls; i++ {
+		fb := g.pb.NewFunc(fmt.Sprintf("sys_%d", i))
+		b := fb.NewBlock()
+		n := g.r.IntRange(4, 8)
+		fb.Fill(b, n)
+		fb.Ret(b)
+		id := fb.ID()
+		// The kernel boundary: never inline-expanded.
+		g.fn(id).NoInline = true
+		g.cost[id] = float64(n + 1)
+		g.syscalls = append(g.syscalls, id)
+	}
+}
+
+func (g *gen) fn(id ir.FuncID) *ir.Function {
+	// The builder owns the program until Build; reach through it to
+	// set function-level flags.
+	return g.pb.Peek().Funcs[id]
+}
+
+func (g *gen) buildUtilities() {
+	for i := 0; i < g.p.Utilities; i++ {
+		fb := g.pb.NewFunc(fmt.Sprintf("util_%d", i))
+		n := g.instrs(g.p.UtilInstrs)
+		var cost float64
+		if g.r.Bool(0.5) || n < 6 {
+			// Straight-line helper.
+			b := fb.NewBlock()
+			fb.Fill(b, n)
+			fb.Ret(b)
+			cost = float64(n + 1)
+		} else {
+			// Helper with a biased diamond.
+			h := fb.NewBlock()
+			hot := fb.NewBlock()
+			alt := fb.NewBlock()
+			j := fb.NewBlock()
+			nh, nj := n/3, n/4
+			nhot, nalt := n-nh-nj, n/2
+			fb.Fill(h, nh)
+			fb.Branch(h, ir.Arc{To: hot, Prob: g.p.BranchBias}, ir.Arc{To: alt, Prob: 1 - g.p.BranchBias})
+			fb.Fill(hot, nhot)
+			fb.FallThrough(hot, j)
+			fb.Fill(alt, nalt)
+			fb.Jump(alt, j)
+			fb.Fill(j, nj)
+			fb.Ret(j)
+			cost = float64(nh+1) + g.p.BranchBias*float64(nhot) +
+				(1-g.p.BranchBias)*float64(nalt+1) + float64(nj+1)
+		}
+		g.cost[fb.ID()] = cost
+		g.utilities = append(g.utilities, fb.ID())
+	}
+}
+
+func (g *gen) buildColdFuncs() {
+	for i := 0; i < g.p.ColdFuncs; i++ {
+		fb := g.pb.NewFunc(fmt.Sprintf("err_%d", i))
+		b := fb.NewBlock()
+		n := g.instrs(g.p.ColdFuncInstrs)
+		fb.Fill(b, n)
+		fb.Ret(b)
+		g.cost[fb.ID()] = float64(n + 1)
+		g.coldFns = append(g.coldFns, fb.ID())
+	}
+}
+
+func (g *gen) buildDeadFuncs() {
+	for i := 0; i < g.p.DeadFuncs; i++ {
+		fb := g.pb.NewFunc(fmt.Sprintf("dead_%d", i))
+		n := g.instrs(g.p.DeadFuncInstrs)
+		// Dead code still looks like code: an entry, a diamond, and an
+		// exit, sized to n instructions in total.
+		h := fb.NewBlock()
+		a := fb.NewBlock()
+		b := fb.NewBlock()
+		x := fb.NewBlock()
+		q := n / 4
+		fb.Fill(h, q)
+		fb.Branch(h, ir.Arc{To: a, Prob: 0.5}, ir.Arc{To: b, Prob: 0.5})
+		fb.Fill(a, q)
+		fb.Jump(a, x)
+		fb.Fill(b, q)
+		fb.FallThrough(b, x)
+		fb.Fill(x, n-3*q)
+		fb.Ret(x)
+		g.cost[fb.ID()] = 0 // never called
+	}
+}
+
+func (g *gen) buildInitFuncs() {
+	if !g.p.InitPhase {
+		return
+	}
+	for i := 0; i < g.p.InitFuncs; i++ {
+		fb := g.pb.NewFunc(fmt.Sprintf("init_%d", i))
+		n := g.instrs(g.p.InitFuncInstrs)
+		// A short table-building loop over a mid-sized body.
+		e := fb.NewBlock()
+		body := fb.NewBlock()
+		x := fb.NewBlock()
+		trips := g.jitterTrips(4)
+		q := backProb(trips)
+		fb.Fill(e, n/4)
+		fb.FallThrough(e, body)
+		fb.Fill(body, n/2)
+		fb.Branch(body, ir.Arc{To: body, Prob: q}, ir.Arc{To: x, Prob: 1 - q})
+		fb.Fill(x, n-n/4-n/2)
+		fb.Ret(x)
+		g.cost[fb.ID()] = float64(n/4) + trips*float64(n/2+1) + float64(n-n/4-n/2+1)
+		g.initFns = append(g.initFns, fb.ID())
+	}
+}
+
+// assignWorkers decides each phase's worker set, creating workers on
+// demand and sharing some across phases.
+func (g *gen) assignWorkers() {
+	g.perPhaseWorkers = make([][]ir.FuncID, g.p.Phases)
+	for ph := 0; ph < g.p.Phases; ph++ {
+		n := g.r.IntRange(g.p.WorkersPerPhase[0], g.p.WorkersPerPhase[1])
+		used := make(map[ir.FuncID]bool)
+		for i := 0; i < n; i++ {
+			var w ir.FuncID
+			if len(g.workerPool) > 0 && g.r.Bool(g.p.SharedWorkerFrac) {
+				w = g.workerPool[g.r.Intn(len(g.workerPool))]
+				if used[w] {
+					continue
+				}
+			} else {
+				w = g.buildWorker(len(g.workerPool))
+				g.workerPool = append(g.workerPool, w)
+			}
+			used[w] = true
+			g.perPhaseWorkers[ph] = append(g.perPhaseWorkers[ph], w)
+		}
+	}
+}
+
+// segment is one piece of a worker loop body: a sub-CFG with a single
+// entry, a single unterminated exit block, and an expected cost per
+// traversal.
+type segment struct {
+	first, last ir.BlockID
+	cost        float64
+}
+
+func (g *gen) buildWorker(idx int) ir.FuncID {
+	fb := g.pb.NewFunc(fmt.Sprintf("worker_%d", idx))
+	entry := fb.NewBlock()
+	fb.Fill(entry, g.instrs(g.p.BlockInstrs))
+	head := fb.NewBlock()
+	nh := g.r.IntRange(2, 4)
+	fb.Fill(head, nh)
+
+	nseg := g.r.IntRange(g.p.WorkerSegments[0], g.p.WorkerSegments[1])
+	segs := make([]segment, nseg)
+	for i := range segs {
+		segs[i] = g.buildSegment(fb)
+	}
+
+	latch := fb.NewBlock()
+	fb.Fill(latch, 1)
+	exit := fb.NewBlock()
+	fb.Fill(exit, g.r.IntRange(1, 3))
+	fb.Ret(exit)
+
+	// Wire: entry -> head -> seg1 -> ... -> latch -> head | exit.
+	fb.FallThrough(entry, head)
+	prev := head
+	var bodyCost float64 = float64(nh)
+	for _, s := range segs {
+		fb.FallThrough(prev, s.first)
+		prev = s.last
+		bodyCost += s.cost
+	}
+	trips := g.jitterTrips(g.p.WorkerLoopTrips)
+	q := backProb(trips)
+	fb.FallThrough(prev, latch)
+	fb.Branch(latch, ir.Arc{To: head, Prob: q}, ir.Arc{To: exit, Prob: 1 - q})
+	bodyCost += 2 // latch fill + branch
+
+	entryCost := float64(g.fn(fb.ID()).Blocks[entry].Bytes() / ir.InstrBytes)
+	exitCost := float64(g.fn(fb.ID()).Blocks[exit].Bytes() / ir.InstrBytes)
+	g.cost[fb.ID()] = entryCost + trips*bodyCost + exitCost
+	return fb.ID()
+}
+
+// buildSegment emits one worker-loop body segment.
+func (g *gen) buildSegment(fb *ir.FuncBuilder) segment {
+	p := g.p
+	weights := []float64{
+		p.NestedLoopFrac,
+		p.CallFrac,
+		p.SyscallFrac,
+		p.DiamondFrac,
+		p.ColdEscapeFrac,
+		0,
+	}
+	var sum float64
+	for _, w := range weights[:5] {
+		sum += w
+	}
+	weights[5] = 1 - sum
+	if weights[5] < 0.05 {
+		weights[5] = 0.05
+	}
+	kind := g.r.Choose(weights)
+	switch kind {
+	case 0:
+		return g.segNestedLoop(fb)
+	case 1:
+		return g.segCall(fb, g.utilities)
+	case 2:
+		if len(g.syscalls) > 0 {
+			return g.segCall(fb, g.syscalls)
+		}
+		return g.segPlain(fb)
+	case 3:
+		return g.segDiamond(fb)
+	case 4:
+		return g.segColdEscape(fb)
+	default:
+		return g.segPlain(fb)
+	}
+}
+
+func (g *gen) segNestedLoop(fb *ir.FuncBuilder) segment {
+	h := fb.NewBlock()
+	body := fb.NewBlock()
+	after := fb.NewBlock()
+	nh := g.r.IntRange(1, 3)
+	nb := g.instrs(g.p.BlockInstrs)
+	na := g.r.IntRange(1, 3)
+	trips := g.jitterTrips(g.p.NestedLoopTrips)
+	q := backProb(trips)
+	fb.Fill(h, nh)
+	fb.FallThrough(h, body)
+	fb.Fill(body, nb)
+	fb.Branch(body, ir.Arc{To: body, Prob: q}, ir.Arc{To: after, Prob: 1 - q})
+	fb.Fill(after, na)
+	cost := float64(nh) + trips*float64(nb+1) + float64(na)
+	return segment{first: h, last: after, cost: cost}
+}
+
+func (g *gen) segPlain(fb *ir.FuncBuilder) segment {
+	b := fb.NewBlock()
+	n := g.instrs(g.p.BlockInstrs)
+	fb.Fill(b, n)
+	return segment{first: b, last: b, cost: float64(n)}
+}
+
+func (g *gen) segCall(fb *ir.FuncBuilder, pool []ir.FuncID) segment {
+	b := fb.NewBlock()
+	n := g.instrs(g.p.BlockInstrs)
+	half := n / 2
+	fb.Fill(b, half)
+	callee := pool[g.r.Intn(len(pool))]
+	fb.Call(b, callee)
+	fb.Fill(b, n-half)
+	return segment{first: b, last: b, cost: float64(n+1) + g.cost[callee]}
+}
+
+func (g *gen) segDiamond(fb *ir.FuncBuilder) segment {
+	h := fb.NewBlock()
+	hot := fb.NewBlock()
+	alt := fb.NewBlock()
+	j := fb.NewBlock()
+	nh := g.instrs(g.p.BlockInstrs)
+	nhot := g.instrs(g.p.BlockInstrs)
+	nalt := g.instrs(g.p.BlockInstrs)
+	nj := g.r.IntRange(1, 3)
+	bias := g.p.BranchBias
+	fb.Fill(h, nh)
+	fb.Branch(h, ir.Arc{To: hot, Prob: bias}, ir.Arc{To: alt, Prob: 1 - bias})
+	fb.Fill(hot, nhot)
+	fb.FallThrough(hot, j)
+	fb.Fill(alt, nalt)
+	fb.Jump(alt, j)
+	fb.Fill(j, nj)
+	cost := float64(nh+1) + bias*float64(nhot) + (1-bias)*float64(nalt+1) + float64(nj)
+	return segment{first: h, last: j, cost: cost}
+}
+
+func (g *gen) segColdEscape(fb *ir.FuncBuilder) segment {
+	h := fb.NewBlock()
+	cold := fb.NewBlock()
+	j := fb.NewBlock()
+	nh := g.instrs(g.p.BlockInstrs)
+	ncold := g.instrs(g.p.BlockInstrs) * 3
+	nj := g.r.IntRange(1, 3)
+	prob := g.p.ColdEscapeProb
+	fb.Fill(h, nh)
+	fb.Branch(h, ir.Arc{To: j, Prob: 1 - prob}, ir.Arc{To: cold, Prob: prob})
+	fb.Fill(cold, ncold)
+	coldCost := float64(ncold + 1)
+	if len(g.coldFns) > 0 {
+		callee := g.coldFns[g.r.Intn(len(g.coldFns))]
+		fb.Call(cold, callee)
+		coldCost += 1 + g.cost[callee]
+	}
+	fb.Jump(cold, j)
+	fb.Fill(j, nj)
+	cost := float64(nh+1) + prob*coldCost + float64(nj)
+	return segment{first: h, last: j, cost: cost}
+}
+
+// phaseBudget returns the instruction budget one phase call may spend
+// so that the whole program still fits TargetInstrs: main should cycle
+// through its phases a few times (phase transitions are part of the
+// workloads' cache behaviour), so each phase gets an equal share of
+// the target split across desiredRounds rounds.
+func (g *gen) phaseBudget() float64 {
+	rounds := 4.0
+	if g.p.Phases == 1 {
+		rounds = 1
+	}
+	var fixed float64
+	for _, f := range g.initFns {
+		fixed += g.cost[f]
+	}
+	budget := (float64(g.p.TargetInstrs) - fixed) / (rounds * float64(g.p.Phases))
+	if budget < 100 {
+		budget = 100
+	}
+	return budget
+}
+
+func (g *gen) buildPhases() {
+	budget := g.phaseBudget()
+	for ph := 0; ph < g.p.Phases; ph++ {
+		fb := g.pb.NewFunc(fmt.Sprintf("phase_%d", ph))
+		entry := fb.NewBlock()
+		fb.Fill(entry, g.r.IntRange(2, 5))
+		head := fb.NewBlock()
+		nh := g.r.IntRange(1, 3)
+		fb.Fill(head, nh)
+		fb.FallThrough(entry, head)
+
+		// One call block per worker, chained by fall-through.
+		var callCost float64
+		prev := head
+		for _, w := range g.perPhaseWorkers[ph] {
+			b := fb.NewBlock()
+			n := g.r.IntRange(1, 4)
+			fb.Fill(b, n/2)
+			fb.Call(b, w)
+			fb.Fill(b, n-n/2)
+			fb.FallThrough(prev, b)
+			prev = b
+			callCost += float64(n+1) + g.cost[w]
+		}
+
+		latch := fb.NewBlock()
+		fb.Fill(latch, 1)
+		exit := fb.NewBlock()
+		fb.Fill(exit, 1)
+		fb.Ret(exit)
+		// The parameterised trip count is a cap; the instruction
+		// budget decides how many trips this phase can afford, so
+		// deeply nested workloads still land near TargetInstrs.
+		trips := g.jitterTrips(g.p.PhaseTrips)
+		perTrip := float64(nh) + callCost + 2
+		if affordable := budget / perTrip; affordable < trips {
+			trips = affordable
+		}
+		if trips < 1 {
+			trips = 1
+		}
+		q := backProb(trips)
+		fb.FallThrough(prev, latch)
+		fb.Branch(latch, ir.Arc{To: head, Prob: q}, ir.Arc{To: exit, Prob: 1 - q})
+
+		entryCost := float64(g.fn(fb.ID()).Blocks[entry].Bytes() / ir.InstrBytes)
+		g.cost[fb.ID()] = entryCost + trips*perTrip + 2
+		g.phases = append(g.phases, fb.ID())
+	}
+}
+
+// buildMain assembles main and solves its outer loop probability so a
+// run's expected dynamic length matches TargetInstrs.
+func (g *gen) buildMain() (ir.FuncID, float64) {
+	fb := g.pb.NewFunc("main")
+	entry := fb.NewBlock()
+	fb.Fill(entry, 3)
+	fixedCost := 3.0
+
+	prev := entry
+	if g.p.InitPhase {
+		for _, f := range g.initFns {
+			b := fb.NewBlock()
+			fb.Fill(b, 1)
+			fb.Call(b, f)
+			fb.FallThrough(prev, b)
+			prev = b
+			fixedCost += 2 + g.cost[f]
+		}
+	}
+
+	head := fb.NewBlock()
+	fb.Fill(head, 2)
+	fb.FallThrough(prev, head)
+
+	var roundCost float64 = 2
+	prev = head
+	for _, ph := range g.phases {
+		b := fb.NewBlock()
+		fb.Fill(b, 1)
+		fb.Call(b, ph)
+		fb.FallThrough(prev, b)
+		prev = b
+		roundCost += 2 + g.cost[ph]
+	}
+
+	latch := fb.NewBlock()
+	fb.Fill(latch, 1)
+	exit := fb.NewBlock()
+	fb.Fill(exit, 2)
+	fb.Ret(exit)
+	roundCost += 2
+
+	rounds := (float64(g.p.TargetInstrs) - fixedCost - 3) / roundCost
+	if rounds < 1 {
+		rounds = 1
+	}
+	q := backProb(rounds)
+	fb.FallThrough(prev, latch)
+	fb.Branch(latch, ir.Arc{To: head, Prob: q}, ir.Arc{To: exit, Prob: 1 - q})
+
+	expected := fixedCost + rounds*roundCost + 3
+	g.cost[fb.ID()] = expected
+	return fb.ID(), expected
+}
