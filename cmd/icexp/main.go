@@ -4,19 +4,25 @@
 //
 // Usage:
 //
-//	icexp [-scale 1.0] [-tables 1,2,3,...] [-ablations]
+//	icexp [-scale 1.0] [-tables 1,2,3,...] [-ablations] [-extensions]
+//	      [-v] [-metrics-out m.json] [-cpuprofile cpu.pb.gz]
+//	      [-memprofile mem.pb.gz]
 //
 // -scale multiplies the dynamic trace lengths (1.0 reproduces the
 // default experiment; smaller values give quick approximate runs).
+// The observability flags are shared by all commands; see
+// docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
+	"impact/internal/cliutil"
 	"impact/internal/experiments"
 )
 
@@ -25,7 +31,11 @@ func main() {
 	tables := flag.String("tables", "1,2,3,4,5,6,7,8,9", "comma-separated table numbers to produce")
 	ablations := flag.Bool("ablations", false, "also run the ablation studies (A1-A3, A5, A6; A4 is bench-only)")
 	extensions := flag.Bool("extensions", false, "also run the extension experiments (E1 timing, E2 paging, E3 prefetch, E4 hierarchy, E5 extended suite)")
+	common := cliutil.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := common.Start("icexp"); err != nil {
+		fatal(err)
+	}
 
 	want := map[string]bool{}
 	for _, t := range strings.Split(*tables, ",") {
@@ -34,114 +44,172 @@ func main() {
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "preparing benchmark suite (scale %.2f)...\n", *scale)
-	suite, err := experiments.Prepare(*scale)
+	suite, err := experiments.PrepareWith(*scale, experiments.Options{
+		Obs: common.Registry,
+		Log: slog.Default(),
+		Progress: func(p experiments.Progress) {
+			fmt.Fprintf(os.Stderr, "  [%2d/%d] %-10s prepared in %v\n",
+				p.Done, p.Total, p.Benchmark, p.Elapsed.Round(time.Millisecond))
+		},
+	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "suite prepared in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	if want["1"] {
-		cells, err := experiments.Table1(suite)
+	// emit runs one table/study under a timing span and prints it.
+	emit := func(name string, f func() (string, error)) {
+		sp := common.Registry.Span("tables/" + name)
+		out, err := f()
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(experiments.RenderTable1(cells))
+		slog.Debug("section produced", "section", name)
+		fmt.Println(out)
+	}
+
+	if want["1"] {
+		emit("table1", func() (string, error) {
+			cells, err := experiments.Table1(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable1(cells), nil
+		})
 	}
 	if want["2"] {
-		fmt.Println(experiments.RenderTable2(experiments.Table2(suite)))
+		emit("table2", func() (string, error) {
+			return experiments.RenderTable2(experiments.Table2(suite)), nil
+		})
 	}
 	if want["3"] {
-		fmt.Println(experiments.RenderTable3(experiments.Table3(suite)))
+		emit("table3", func() (string, error) {
+			return experiments.RenderTable3(experiments.Table3(suite)), nil
+		})
 	}
 	if want["4"] {
-		fmt.Println(experiments.RenderTable4(experiments.Table4(suite)))
+		emit("table4", func() (string, error) {
+			return experiments.RenderTable4(experiments.Table4(suite)), nil
+		})
 	}
 	if want["5"] {
-		fmt.Println(experiments.RenderTable5(experiments.Table5(suite)))
+		emit("table5", func() (string, error) {
+			return experiments.RenderTable5(experiments.Table5(suite)), nil
+		})
 	}
 	if want["6"] {
-		rows, err := experiments.Table6(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderTable6(rows))
+		emit("table6", func() (string, error) {
+			rows, err := experiments.Table6(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable6(rows), nil
+		})
 	}
 	if want["7"] {
-		rows, err := experiments.Table7(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderTable7(rows))
+		emit("table7", func() (string, error) {
+			rows, err := experiments.Table7(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable7(rows), nil
+		})
 	}
 	if want["8"] {
-		rows, err := experiments.Table8(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderTable8(rows))
+		emit("table8", func() (string, error) {
+			rows, err := experiments.Table8(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable8(rows), nil
+		})
 	}
 	if want["9"] {
-		rows, err := experiments.Table9(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderTable9(rows))
+		emit("table9", func() (string, error) {
+			rows, err := experiments.Table9(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable9(rows), nil
+		})
 	}
 	if *ablations {
-		a1, err := experiments.AblationLayout(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderAblationLayout(a1))
-		a2, err := experiments.AblationAssoc(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderAblationAssoc(a2))
-		a3, err := experiments.AblationMinProb(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderAblationMinProb(a3))
-		a5, err := experiments.AblationReplacement(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderAblationReplacement(a5))
-		a6, err := experiments.AblationGlobalAlgo(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderAblationGlobalAlgo(a6))
+		emit("ablation-layout", func() (string, error) {
+			a, err := experiments.AblationLayout(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderAblationLayout(a), nil
+		})
+		emit("ablation-assoc", func() (string, error) {
+			a, err := experiments.AblationAssoc(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderAblationAssoc(a), nil
+		})
+		emit("ablation-minprob", func() (string, error) {
+			a, err := experiments.AblationMinProb(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderAblationMinProb(a), nil
+		})
+		emit("ablation-replacement", func() (string, error) {
+			a, err := experiments.AblationReplacement(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderAblationReplacement(a), nil
+		})
+		emit("ablation-globalalgo", func() (string, error) {
+			a, err := experiments.AblationGlobalAlgo(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderAblationGlobalAlgo(a), nil
+		})
 	}
 	if *extensions {
-		e1, err := experiments.ExtTiming(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderExtTiming(e1))
-		e2, err := experiments.ExtPaging(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderExtPaging(e2))
-		e3, err := experiments.ExtPrefetch(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderExtPrefetch(e3))
-		e4, err := experiments.ExtHierarchy(suite)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderExtHierarchy(e4))
-		e5, err := experiments.ExtExtendedSuite(*scale)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderExtExtendedSuite(e5))
+		emit("ext-timing", func() (string, error) {
+			e, err := experiments.ExtTiming(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderExtTiming(e), nil
+		})
+		emit("ext-paging", func() (string, error) {
+			e, err := experiments.ExtPaging(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderExtPaging(e), nil
+		})
+		emit("ext-prefetch", func() (string, error) {
+			e, err := experiments.ExtPrefetch(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderExtPrefetch(e), nil
+		})
+		emit("ext-hierarchy", func() (string, error) {
+			e, err := experiments.ExtHierarchy(suite)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderExtHierarchy(e), nil
+		})
+		emit("ext-extended", func() (string, error) {
+			e, err := experiments.ExtExtendedSuite(*scale)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderExtExtendedSuite(e), nil
+		})
 	}
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
+	common.MustClose()
 }
 
 func fatal(err error) {

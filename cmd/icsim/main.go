@@ -4,18 +4,27 @@
 // Usage:
 //
 //	icsim -trace prog.itr [-size 2048] [-block 64] [-assoc 1]
-//	      [-sector 0] [-partial]
+//	      [-sector 0] [-partial] [-replacement lru|fifo|random]
+//	      [-prefetch] [-latency 0] [-cwf=true]
+//	      [-v] [-metrics-out m.json] [-cpuprofile f] [-memprofile f]
 //
 // It prints the miss ratio, memory traffic ratio, and (for partial
-// loading) the paper's avg.fetch and avg.exec metrics.
+// loading or sectoring) the paper's avg.fetch and avg.exec metrics.
+// With -latency > 0 the cycle-level timing model of the paper's
+// section 4.2.1 is enabled and stall cycles plus the effective access
+// time are reported; -cwf=false disables critical-word-first load
+// forwarding. -prefetch adds next-block prefetch-on-miss (whole-block
+// fill only) and reports prefetch accuracy.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"impact/internal/cache"
+	"impact/internal/cliutil"
 	"impact/internal/memtrace"
 )
 
@@ -26,11 +35,23 @@ func main() {
 	assoc := flag.Int("assoc", 1, "associativity (0 = fully associative)")
 	sector := flag.Int("sector", 0, "sector size in bytes (0 = whole-block fill)")
 	partial := flag.Bool("partial", false, "partial loading (fill from miss word to block end)")
+	replacement := flag.String("replacement", "lru", "replacement policy: lru, fifo, or random")
+	prefetch := flag.Bool("prefetch", false, "prefetch the next sequential block on every demand miss")
+	latency := flag.Int("latency", 0, "memory initial access latency in cycles (0 = timing model off)")
+	cwf := flag.Bool("cwf", true, "critical-word-first load forwarding (timing model)")
+	common := cliutil.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := common.Start("icsim"); err != nil {
+		fatal(err)
+	}
 
 	if *tracePath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	repl, err := cache.ParseReplacement(*replacement)
+	if err != nil {
+		fatal(err)
 	}
 	f, err := os.Open(*tracePath)
 	if err != nil {
@@ -41,13 +62,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	slog.Debug("trace loaded", "file", *tracePath, "instrs", tr.Instrs, "runs", len(tr.Runs))
 
 	cfg := cache.Config{
-		SizeBytes:   *size,
-		BlockBytes:  *block,
-		Assoc:       *assoc,
-		SectorBytes: *sector,
-		PartialLoad: *partial,
+		SizeBytes:    *size,
+		BlockBytes:   *block,
+		Assoc:        *assoc,
+		SectorBytes:  *sector,
+		PartialLoad:  *partial,
+		Replacement:  repl,
+		PrefetchNext: *prefetch,
+	}
+	if *latency > 0 {
+		cfg.Timing = &cache.TimingConfig{InitialLatency: *latency, CriticalWordFirst: *cwf}
 	}
 	stats, err := cache.Simulate(cfg, tr)
 	if err != nil {
@@ -65,6 +92,15 @@ func main() {
 	if stats.ExecRuns > 0 {
 		fmt.Printf("avg.exec:  %.1f instructions\n", stats.AvgExecWords())
 	}
+	if *prefetch {
+		fmt.Printf("prefetches: %d (%.1f%% used)\n", stats.Prefetches, stats.PrefetchAccuracy()*100)
+	}
+	if cfg.Timing != nil {
+		fmt.Printf("stall cycles: %d\n", stats.StallCycles)
+		fmt.Printf("cycles:       %d\n", stats.Cycles())
+		fmt.Printf("eff. access:  %.3f cycles/fetch\n", stats.EffectiveAccessTime())
+	}
+	common.MustClose()
 }
 
 func fatal(err error) {

@@ -34,17 +34,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
 	"impact/internal/cache"
+	"impact/internal/cliutil"
 	"impact/internal/core"
 	"impact/internal/interp"
 	"impact/internal/ir"
 	"impact/internal/layout"
 	"impact/internal/memtrace"
+	"impact/internal/obs"
 	"impact/internal/profile"
 	"impact/internal/texttable"
 	"impact/internal/workload"
@@ -56,7 +59,7 @@ func main() {
 	}
 	switch os.Args[1] {
 	case "list":
-		cmdList()
+		cmdList(os.Args[2:])
 	case "profile":
 		cmdProfile(os.Args[2:])
 	case "layout":
@@ -101,7 +104,21 @@ func mustBench(name string, scale float64) *workload.Benchmark {
 	return b
 }
 
-func cmdList() {
+// startCommon parses fs with the shared observability flags attached
+// and starts the Common lifecycle.
+func startCommon(fs *flag.FlagSet, args []string) *cliutil.Common {
+	common := cliutil.AddFlags(fs)
+	fs.Parse(args)
+	if err := common.Start("impact"); err != nil {
+		fatal(err)
+	}
+	return common
+}
+
+func cmdList(args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	common := startCommon(fs, args)
+	defer common.MustClose()
 	t := texttable.New("Benchmarks",
 		"name", "funcs", "blocks", "static", "runs", "target instrs", "input description")
 	for _, p := range workload.SuiteParams() {
@@ -117,12 +134,14 @@ func cmdProfile(args []string) {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	name, scale := benchFlag(fs)
 	top := fs.Int("top", 15, "number of hottest functions to print")
-	fs.Parse(args)
+	common := startCommon(fs, args)
+	defer common.MustClose()
 	b := mustBench(*name, *scale)
 
 	w, _, err := profile.Profile(b.Prog, profile.Config{
 		Seeds:  b.ProfileSeeds,
 		Interp: b.InterpConfig(),
+		Obs:    common.Registry,
 	})
 	if err != nil {
 		fatal(err)
@@ -173,7 +192,7 @@ func strategyByName(name string) (core.Strategy, error) {
 	return core.Strategy{}, fmt.Errorf("unknown strategy %q", name)
 }
 
-func optimize(b *workload.Benchmark, strategy string) *core.Result {
+func optimize(b *workload.Benchmark, strategy string, reg *obs.Registry) *core.Result {
 	st, err := strategyByName(strategy)
 	if err != nil {
 		fatal(err)
@@ -181,6 +200,7 @@ func optimize(b *workload.Benchmark, strategy string) *core.Result {
 	cfg := core.DefaultConfig(b.ProfileSeeds...)
 	cfg.Interp = b.InterpConfig()
 	cfg.Strategy = st
+	cfg.Obs = reg
 	res, err := core.Optimize(b.Prog, cfg)
 	if err != nil {
 		fatal(err)
@@ -192,9 +212,10 @@ func cmdLayout(args []string) {
 	fs := flag.NewFlagSet("layout", flag.ExitOnError)
 	name, scale := benchFlag(fs)
 	strategy := fs.String("strategy", "full", "placement strategy")
-	fs.Parse(args)
+	common := startCommon(fs, args)
+	defer common.MustClose()
 	b := mustBench(*name, *scale)
-	res := optimize(b, *strategy)
+	res := optimize(b, *strategy, common.Registry)
 
 	fmt.Printf("benchmark %s, strategy %s\n", b.Name(), *strategy)
 	fmt.Printf("inlined %d call sites (code %+.1f%%), program %s, effective %s\n\n",
@@ -238,7 +259,8 @@ func cmdTrace(args []string) {
 	name, scale := benchFlag(fs)
 	strategy := fs.String("strategy", "full", "placement strategy (or 'random')")
 	out := fs.String("o", "", "output trace file (required)")
-	fs.Parse(args)
+	common := startCommon(fs, args)
+	defer common.MustClose()
 	b := mustBench(*name, *scale)
 	if *out == "" {
 		fatal(fmt.Errorf("missing -o"))
@@ -248,7 +270,7 @@ func cmdTrace(args []string) {
 	if *strategy == "random" {
 		lay = layout.Random(b.Prog, 1)
 	} else {
-		lay = optimize(b, *strategy).Layout
+		lay = optimize(b, *strategy, common.Registry).Layout
 	}
 
 	f, err := os.Create(*out)
@@ -277,7 +299,8 @@ func cmdSimulate(args []string) {
 	assoc := fs.Int("assoc", 1, "associativity (0 = fully associative)")
 	sector := fs.Int("sector", 0, "sector bytes (0 = whole block)")
 	partial := fs.Bool("partial", false, "partial loading")
-	fs.Parse(args)
+	common := startCommon(fs, args)
+	defer common.MustClose()
 	b := mustBench(*name, *scale)
 
 	cfg := cache.Config{
@@ -288,7 +311,7 @@ func cmdSimulate(args []string) {
 		fatal(err)
 	}
 
-	res := optimize(b, "full")
+	res := optimize(b, "full", common.Registry)
 	optTr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
 	if err != nil {
 		fatal(err)
@@ -319,12 +342,13 @@ func cmdDump(args []string) {
 	name, scale := benchFlag(fs)
 	out := fs.String("o", "", "output file (default stdout)")
 	inlined := fs.Bool("inlined", false, "dump the program after inline expansion")
-	fs.Parse(args)
+	common := startCommon(fs, args)
+	defer common.MustClose()
 	b := mustBench(*name, *scale)
 
 	prog := b.Prog
 	if *inlined {
-		prog = optimize(b, "full").Prog
+		prog = optimize(b, "full", common.Registry).Prog
 	}
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -352,7 +376,8 @@ func cmdRun(args []string) {
 	size := fs.Int("size", 2048, "cache size in bytes")
 	block := fs.Int("block", 64, "block size in bytes")
 	assoc := fs.Int("assoc", 1, "associativity (0 = fully associative)")
-	fs.Parse(args)
+	common := startCommon(fs, args)
+	defer common.MustClose()
 	if *irPath == "" {
 		fatal(fmt.Errorf("missing -ir"))
 	}
@@ -378,6 +403,7 @@ func cmdRun(args []string) {
 
 	cfg := core.DefaultConfig(seeds...)
 	cfg.Interp = interp.Config{MaxSteps: *maxSteps}
+	cfg.Obs = common.Registry
 	res, err := core.Optimize(prog, cfg)
 	if err != nil {
 		fatal(err)
@@ -392,7 +418,11 @@ func cmdRun(args []string) {
 		fatal(err)
 	}
 	if !optRun.Completed {
-		fmt.Fprintln(os.Stderr, "impact: warning: evaluation run hit the instruction cap; raise -maxsteps")
+		// Structured so scripted callers can detect capped (and thus
+		// truncated) evaluations; also counted in the metrics output.
+		slog.Warn("evaluation run hit the instruction cap; raise -maxsteps",
+			"cap", cfg.Interp.MaxSteps, "executed", optRun.Instrs)
+		common.Registry.Counter("interp.eval_capped").Inc()
 	}
 	natTr, _, err := layout.Trace(layout.Natural(prog), *evalSeed, cfg.Interp)
 	if err != nil {

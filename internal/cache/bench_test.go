@@ -31,6 +31,13 @@ func benchSim(b *testing.B, cfg Config) {
 	}
 }
 
+// BenchmarkCache is the headline simulator throughput benchmark (the
+// paper's 2KB/64B direct-mapped organisation) used to check that
+// instrumentation left disabled costs nothing on the hot path.
+func BenchmarkCache(b *testing.B) {
+	benchSim(b, Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1})
+}
+
 func BenchmarkSimDirectMapped(b *testing.B) {
 	benchSim(b, Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1})
 }

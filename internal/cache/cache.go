@@ -581,5 +581,6 @@ func Simulate(cfg Config, tr *memtrace.Trace) (Stats, error) {
 		return Stats{}, err
 	}
 	tr.Replay(c)
+	record(c.Stats())
 	return c.Stats(), nil
 }

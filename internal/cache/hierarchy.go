@@ -77,5 +77,7 @@ func SimulateHierarchy(l1, l2 Config, tr *memtrace.Trace) (Stats, Stats, error) 
 		return Stats{}, Stats{}, err
 	}
 	tr.Replay(h)
+	record(h.L1.Stats())
+	recordL2(h.L2.Stats())
 	return h.L1.Stats(), h.L2.Stats(), nil
 }

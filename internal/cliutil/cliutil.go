@@ -1,0 +1,136 @@
+// Package cliutil wires the observability surface into the command-
+// line tools: every command gets the same four flags —
+//
+//	-v                  structured (log/slog) debug logging to stderr
+//	-metrics-out FILE   write an obs JSON snapshot on exit
+//	-cpuprofile FILE    write a pprof CPU profile
+//	-memprofile FILE    write a pprof heap profile on exit
+//
+// — and a Common lifecycle: Start after flag parsing, Close before
+// exit. Start installs the process-wide slog default (warn level
+// normally, debug with -v), creates the metrics registry, attaches the
+// cache simulator's counters to it, and begins CPU profiling.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"impact/internal/cache"
+	"impact/internal/obs"
+)
+
+// Common holds the flag values and runtime state shared by all
+// commands.
+type Common struct {
+	Verbose    bool
+	MetricsOut string
+	CPUProfile string
+	MemProfile string
+
+	// Registry collects this process's metrics; non-nil after Start.
+	Registry *obs.Registry
+
+	tool    string
+	cpuFile *os.File
+}
+
+// AddFlags registers the common observability flags on fs.
+func AddFlags(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.BoolVar(&c.Verbose, "v", false, "verbose structured logging to stderr")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write metrics JSON snapshot to `file` on exit")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write pprof CPU profile to `file`")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write pprof heap profile to `file` on exit")
+	return c
+}
+
+// Start applies the parsed flags: logging, metrics registry, cache
+// counter attachment, CPU profiling. tool names the command in log
+// lines.
+func (c *Common) Start(tool string) error {
+	c.tool = tool
+	level := slog.LevelWarn
+	if c.Verbose {
+		level = slog.LevelDebug
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+
+	c.Registry = obs.NewRegistry()
+	cache.AttachObs(c.Registry)
+
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("%s: -cpuprofile: %w", tool, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: -cpuprofile: %w", tool, err)
+		}
+		c.cpuFile = f
+		slog.Debug("cpu profiling started", "file", c.CPUProfile)
+	}
+	return nil
+}
+
+// Close flushes the profiles and the metrics snapshot. Call it on the
+// command's normal exit path (error exits that os.Exit early lose the
+// tail of the profile, which matches pprof convention).
+func (c *Common) Close() error {
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpuFile.Close(); err != nil {
+			return fmt.Errorf("%s: -cpuprofile: %w", c.tool, err)
+		}
+		c.cpuFile = nil
+	}
+	if c.MemProfile != "" {
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			return fmt.Errorf("%s: -memprofile: %w", c.tool, err)
+		}
+		runtime.GC() // materialise up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: -memprofile: %w", c.tool, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("%s: -memprofile: %w", c.tool, err)
+		}
+	}
+	if c.MetricsOut != "" {
+		f, err := os.Create(c.MetricsOut)
+		if err != nil {
+			return fmt.Errorf("%s: -metrics-out: %w", c.tool, err)
+		}
+		if err := c.Registry.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: -metrics-out: %w", c.tool, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("%s: -metrics-out: %w", c.tool, err)
+		}
+		slog.Debug("metrics written", "file", c.MetricsOut)
+	}
+	if c.Verbose {
+		// A -v run gets the human-readable metric report on stderr.
+		if err := c.Registry.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustClose is Close for main-function tails: it reports the error on
+// stderr and exits non-zero instead of returning it.
+func (c *Common) MustClose() {
+	if err := c.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

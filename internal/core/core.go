@@ -25,6 +25,7 @@ import (
 	"impact/internal/ir"
 	"impact/internal/layout"
 	"impact/internal/memtrace"
+	"impact/internal/obs"
 	"impact/internal/profile"
 )
 
@@ -71,6 +72,11 @@ type Config struct {
 	MinProb float64
 	// Strategy selects the steps; DefaultConfig uses FullStrategy.
 	Strategy Strategy
+	// Obs, when non-nil, receives per-stage spans (pipeline/profile,
+	// pipeline/inline, pipeline/traceselect, pipeline/funclayout,
+	// pipeline/globallayout, pipeline/compose) and work counters; nil
+	// disables all instrumentation (see docs/OBSERVABILITY.md).
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the paper's configuration with the given
@@ -124,10 +130,16 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 	if cfg.Inline == (inline.Config{}) {
 		cfg.Inline = inline.DefaultConfig()
 	}
-	profCfg := profile.Config{Seeds: cfg.ProfileSeeds, Interp: cfg.Interp}
+	profCfg := profile.Config{Seeds: cfg.ProfileSeeds, Interp: cfg.Interp, Obs: cfg.Obs}
+
+	pipe := cfg.Obs.Span("pipeline")
+	defer pipe.End()
+	cfg.Obs.Counter("pipeline.runs").Inc()
 
 	// Step 1: execution profiling.
+	sp := pipe.Span("profile")
 	origW, _, err := profile.Profile(p, profCfg)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling input program: %w", err)
 	}
@@ -137,17 +149,21 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 	var inlineRep inline.Report
 	w := origW
 	if cfg.Strategy.Inline {
+		sp = pipe.Span("inline")
 		prog, inlineRep, err = inline.Expand(p, origW, cfg.Inline)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: inline expansion: %w", err)
 		}
 		// Re-profile the transformed program with the same inputs;
 		// IMPACT-I instead propagates weights through the transform,
 		// which is equivalent but harder to verify (see DESIGN.md).
 		w, _, err = profile.Profile(prog, profCfg)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: re-profiling inlined program: %w", err)
 		}
+		cfg.Obs.Counter("pipeline.inline.sites_inlined").Add(uint64(inlineRep.SitesInlined))
 	}
 
 	res := &Result{
@@ -158,24 +174,49 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 		TotalBytes:   prog.Bytes(),
 	}
 
-	// Steps 3-4: trace selection and function body layout.
+	// Step 3: trace selection. (Step 4 consumes only its own
+	// function's selection, so the two steps run as separate passes —
+	// which also gives each a clean timing span.)
+	sp = pipe.Span("traceselect")
 	res.Traces = make([]traceselect.Result, len(prog.Funcs))
 	res.Orders = make([]funclayout.Order, len(prog.Funcs))
+	var tracesFormed int
 	for _, f := range prog.Funcs {
 		fw := &w.Funcs[f.ID]
 		if cfg.Strategy.TraceLayout {
 			sel := traceselect.Select(f, fw, cfg.MinProb)
 			res.Traces[f.ID] = sel
 			res.TraceStats.Add(traceselect.ComputeStats(f, fw, &sel))
-			res.Orders[f.ID] = funclayout.Layout(f, fw, &sel)
 		} else {
 			res.Traces[f.ID] = naturalTraces(f)
+		}
+		tracesFormed += len(res.Traces[f.ID].Traces)
+	}
+	sp.End()
+	cfg.Obs.Counter("pipeline.traceselect.traces").Add(uint64(tracesFormed))
+
+	// Step 4: function body layout.
+	sp = pipe.Span("funclayout")
+	var blocksMoved int
+	for _, f := range prog.Funcs {
+		fw := &w.Funcs[f.ID]
+		if cfg.Strategy.TraceLayout {
+			res.Orders[f.ID] = funclayout.Layout(f, fw, &res.Traces[f.ID])
+		} else {
 			res.Orders[f.ID] = naturalOrder(f, fw)
+		}
+		for i, b := range res.Orders[f.ID].Blocks {
+			if b != ir.BlockID(i) {
+				blocksMoved++
+			}
 		}
 		res.EffectiveBytes += res.Orders[f.ID].EffectiveBytes(f)
 	}
+	sp.End()
+	cfg.Obs.Counter("pipeline.funclayout.blocks_moved").Add(uint64(blocksMoved))
 
 	// Step 5: global layout.
+	sp = pipe.Span("globallayout")
 	if cfg.Strategy.GlobalDFS {
 		if cfg.Strategy.PettisHansen {
 			res.GlobalOrder = globallayout.PettisHansen(prog, w)
@@ -189,8 +230,18 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 		}
 		res.GlobalOrder = globallayout.Order{Funcs: order}
 	}
+	sp.End()
+	var funcsMoved int
+	for i, f := range res.GlobalOrder.Funcs {
+		if f != ir.FuncID(i) {
+			funcsMoved++
+		}
+	}
+	cfg.Obs.Counter("pipeline.globallayout.funcs_moved").Add(uint64(funcsMoved))
 
 	// Compose the final placement.
+	sp = pipe.Span("compose")
+	defer sp.End()
 	var pl layout.Placement
 	if cfg.Strategy.SplitCold {
 		// Effective regions of all functions in global order, then the
@@ -218,6 +269,7 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: composing layout: %w", err)
 	}
+	cfg.Obs.Counter("pipeline.compose.blocks_placed").Add(uint64(len(pl.Order)))
 	return res, nil
 }
 

@@ -14,13 +14,17 @@ package experiments
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"impact/internal/core"
 	"impact/internal/interp"
 	"impact/internal/layout"
 	"impact/internal/memtrace"
+	"impact/internal/obs"
 	"impact/internal/workload"
 )
 
@@ -48,6 +52,50 @@ type Suite struct {
 	Items []*Prepared
 }
 
+// Progress describes one benchmark finishing preparation.
+type Progress struct {
+	// Done / Total count finished benchmarks (Done includes this one).
+	Done, Total int
+	// Benchmark is the finished benchmark's name.
+	Benchmark string
+	// Elapsed is the wall time this benchmark's preparation took.
+	Elapsed time.Duration
+}
+
+// Options configures observability for suite preparation. The zero
+// value collects nothing and matches the historical Prepare behaviour.
+type Options struct {
+	// Obs, when non-nil, receives pipeline spans and counters from
+	// every benchmark plus per-benchmark prepare times
+	// (prepare.<name>.seconds gauges, the prepare.benchmark histogram)
+	// and the prepare.worker_utilization gauge.
+	Obs *obs.Registry
+	// Log, when non-nil, receives per-benchmark debug lines and
+	// capped-run warnings. Nil discards.
+	Log *slog.Logger
+	// Progress, when non-nil, is called after each benchmark finishes
+	// preparing. Called from worker goroutines, serialised by an
+	// internal lock.
+	Progress func(Progress)
+}
+
+func (o Options) logger() *slog.Logger {
+	if o.Log != nil {
+		return o.Log
+	}
+	return discardLogger
+}
+
+// discardLogger drops everything (slog.DiscardHandler is Go 1.24+;
+// a disabled level gets the same effect).
+var discardLogger = slog.New(slog.NewTextHandler(discardWriter{}, &slog.HandlerOptions{
+	Level: slog.Level(127),
+}))
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
 // Prepare builds the benchmark suite at the given dynamic scale and
 // runs the full pipeline on every benchmark. Scale 1.0 reproduces the
 // default experiment lengths; tests use smaller scales.
@@ -55,12 +103,29 @@ func Prepare(scale float64) (*Suite, error) {
 	return PrepareBenchmarks(workload.Suite(scale))
 }
 
+// PrepareWith is Prepare with observability options.
+func PrepareWith(scale float64, opts Options) (*Suite, error) {
+	return PrepareBenchmarksWith(workload.Suite(scale), opts)
+}
+
 // PrepareBenchmarks runs the pipeline on the given benchmarks,
 // in parallel across CPUs.
 func PrepareBenchmarks(benchmarks []*workload.Benchmark) (*Suite, error) {
+	return PrepareBenchmarksWith(benchmarks, Options{})
+}
+
+// PrepareBenchmarksWith runs the pipeline on the given benchmarks in
+// parallel across CPUs, reporting per-benchmark progress and metrics
+// through opts.
+func PrepareBenchmarksWith(benchmarks []*workload.Benchmark, opts Options) (*Suite, error) {
 	items := make([]*Prepared, len(benchmarks))
 	errs := make([]error, len(benchmarks))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	workers := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, workers)
+	start := time.Now()
+	var busyNS atomic.Int64
+	var done atomic.Int64
+	var progressMu sync.Mutex
 	var wg sync.WaitGroup
 	for i, b := range benchmarks {
 		wg.Add(1)
@@ -68,10 +133,32 @@ func PrepareBenchmarks(benchmarks []*workload.Benchmark) (*Suite, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			items[i], errs[i] = prepareOne(b)
+			bStart := time.Now()
+			items[i], errs[i] = prepareOne(b, opts)
+			elapsed := time.Since(bStart)
+			busyNS.Add(int64(elapsed))
+			n := int(done.Add(1))
+			opts.Obs.Histogram("prepare.benchmark").Observe(elapsed)
+			opts.Obs.Gauge("prepare." + b.Name() + ".seconds").Set(elapsed.Seconds())
+			opts.logger().Debug("benchmark prepared",
+				"benchmark", b.Name(), "elapsed", elapsed, "done", n, "total", len(benchmarks))
+			if opts.Progress != nil {
+				progressMu.Lock()
+				opts.Progress(Progress{Done: n, Total: len(benchmarks), Benchmark: b.Name(), Elapsed: elapsed})
+				progressMu.Unlock()
+			}
 		}(i, b)
 	}
 	wg.Wait()
+	wall := time.Since(start)
+	if n := len(benchmarks); n > 0 && wall > 0 {
+		if n < workers {
+			workers = n
+		}
+		util := float64(busyNS.Load()) / (wall.Seconds() * 1e9 * float64(workers))
+		opts.Obs.Gauge("prepare.worker_utilization").Set(util)
+		opts.Obs.Gauge("prepare.wall_seconds").Set(wall.Seconds())
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", benchmarks[i].Name(), err)
@@ -80,20 +167,36 @@ func PrepareBenchmarks(benchmarks []*workload.Benchmark) (*Suite, error) {
 	return &Suite{Items: items}, nil
 }
 
-func prepareOne(b *workload.Benchmark) (*Prepared, error) {
+func prepareOne(b *workload.Benchmark, opts Options) (*Prepared, error) {
 	cfg := core.DefaultConfig(b.ProfileSeeds...)
 	cfg.Interp = b.InterpConfig()
+	cfg.Obs = opts.Obs
 	res, err := core.Optimize(b.Prog, cfg)
 	if err != nil {
 		return nil, err
 	}
+	sp := opts.Obs.Span("evaltrace")
+	tStart := time.Now()
 	optTr, optRun, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	interp.Record(opts.Obs, optRun, time.Since(tStart))
+	tStart = time.Now()
+	natTr, natRun, err := layout.Trace(layout.Natural(b.Prog), b.EvalSeed, b.EvalConfig())
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	natTr, natRun, err := layout.Trace(layout.Natural(b.Prog), b.EvalSeed, b.EvalConfig())
-	if err != nil {
-		return nil, err
+	interp.Record(opts.Obs, natRun, time.Since(tStart))
+	for layoutName, run := range map[string]interp.Result{"optimized": optRun, "natural": natRun} {
+		if !run.Completed {
+			opts.Obs.Counter("interp.eval_capped").Inc()
+			opts.logger().Warn("evaluation run hit the instruction cap",
+				"benchmark", b.Name(), "layout", layoutName,
+				"cap", b.EvalConfig().MaxSteps, "executed", run.Instrs)
+		}
 	}
 	return &Prepared{
 		Bench:    b,

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers durations from 1ns to ~18 minutes in power-of-two
+// steps; anything longer lands in the last bucket.
+const numBuckets = 40
+
+// Histogram accumulates durations into power-of-two nanosecond
+// buckets, lock-free. Bucket i counts observations d with
+// 2^i ns <= d < 2^(i+1) ns (bucket 0 additionally holds d < 1ns).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one duration. No-op on a nil histogram. Lock-free
+// and allocation-free.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// bucketIndex maps a nanosecond duration to its bucket.
+func bucketIndex(ns int64) int {
+	i := bits.Len64(uint64(ns)) // 0 for ns==0, 1 for ns==1, ...
+	if i > 0 {
+		i--
+	}
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	return i
+}
+
+// HistogramStats is an exportable histogram summary.
+type HistogramStats struct {
+	Count  uint64   `json:"count"`
+	SumNS  int64    `json:"sum_ns"`
+	MinNS  int64    `json:"min_ns"`
+	MaxNS  int64    `json:"max_ns"`
+	MeanNS int64    `json:"mean_ns"`
+	P50NS  int64    `json:"p50_ns"`
+	P90NS  int64    `json:"p90_ns"`
+	P99NS  int64    `json:"p99_ns"`
+	Bucket []uint64 `json:"buckets,omitempty"`
+}
+
+// stats snapshots the histogram. Concurrent Observe calls may be in
+// flight; the snapshot is internally consistent enough for reporting
+// (counts are read once, derived fields computed from the reads).
+func (h *Histogram) stats() HistogramStats {
+	s := HistogramStats{Count: h.count.Load(), SumNS: h.sum.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.MinNS = h.min.Load()
+	s.MaxNS = h.max.Load()
+	s.MeanNS = s.SumNS / int64(s.Count)
+	s.Bucket = make([]uint64, numBuckets)
+	var total uint64
+	for i := range h.buckets {
+		s.Bucket[i] = h.buckets[i].Load()
+		total += s.Bucket[i]
+	}
+	s.P50NS = quantile(s.Bucket, total, 0.50)
+	s.P90NS = quantile(s.Bucket, total, 0.90)
+	s.P99NS = quantile(s.Bucket, total, 0.99)
+	// Trim trailing empty buckets for compact output.
+	last := len(s.Bucket)
+	for last > 0 && s.Bucket[last-1] == 0 {
+		last--
+	}
+	s.Bucket = s.Bucket[:last]
+	return s
+}
+
+// quantile returns the upper bound (in ns) of the bucket containing
+// the q-th quantile observation.
+func quantile(buckets []uint64, total uint64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range buckets {
+		cum += c
+		if cum > rank {
+			if i >= 62 {
+				return math.MaxInt64
+			}
+			return int64(1) << (i + 1) // bucket upper bound
+		}
+	}
+	return math.MaxInt64
+}

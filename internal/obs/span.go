@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// spanNode accumulates every entry into one span path.
+type spanNode struct {
+	count atomic.Uint64
+	total atomic.Int64 // nanoseconds
+}
+
+// Span is one active timing region. Spans nest: a child started with
+// s.Span("inline") under a span with path "pipeline" records under
+// "pipeline/inline". Spans with the same path — from loops or from
+// concurrent goroutines — merge into one node accumulating count and
+// total duration.
+//
+// A Span handle is used by one goroutine (start it where you use it);
+// the underlying nodes are safe for concurrent accumulation.
+type Span struct {
+	r     *Registry
+	node  *spanNode
+	path  string
+	start time.Time
+}
+
+// Span begins a root span. Returns a no-op span when r is nil.
+func (r *Registry) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, node: r.spanNode(name), path: name, start: time.Now()}
+}
+
+// Span begins a child span nested under s. Valid on a nil span (the
+// child is a no-op too), so call chains need no nil checks.
+func (s *Span) Span(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	path := s.path + "/" + name
+	return &Span{r: s.r, node: s.r.spanNode(path), path: path, start: time.Now()}
+}
+
+// Path returns the span's full slash-separated path ("" when nil).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// End records the elapsed time since the span started and returns it.
+// No-op (returning 0) on a nil span. A span must be ended at most
+// once.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.node.count.Add(1)
+	s.node.total.Add(int64(d))
+	return d
+}
+
+// SpanStats is an exportable span summary.
+type SpanStats struct {
+	Count   uint64 `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MeanNS  int64  `json:"mean_ns"`
+}
+
+func (n *spanNode) stats() SpanStats {
+	s := SpanStats{Count: n.count.Load(), TotalNS: n.total.Load()}
+	if s.Count > 0 {
+		s.MeanNS = s.TotalNS / int64(s.Count)
+	}
+	return s
+}

@@ -16,9 +16,11 @@ package profile
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"impact/internal/interp"
 	"impact/internal/ir"
+	"impact/internal/obs"
 )
 
 // FuncWeights holds the weighted control graph of one function.
@@ -193,6 +195,9 @@ type Config struct {
 	Seeds []uint64
 	// Interp configures each run (step budget, jitter).
 	Interp interp.Config
+	// Obs, when non-nil, receives per-run execution metrics
+	// (interp.* counters and throughput; see interp.Record).
+	Obs *obs.Registry
 }
 
 // Profile runs program p once per seed and returns the merged weights
@@ -209,10 +214,12 @@ func Profile(p *ir.Program, cfg Config) (*Weights, []interp.Result, error) {
 	results := make([]interp.Result, 0, len(cfg.Seeds))
 	for _, seed := range cfg.Seeds {
 		w.Funcs[p.Entry].Entries++
+		start := time.Now()
 		res, err := eng.Run(seed, cfg.Interp, col)
 		if err != nil {
 			return nil, nil, fmt.Errorf("profile: seed %d: %w", seed, err)
 		}
+		interp.Record(cfg.Obs, res, time.Since(start))
 		w.DynInstrs += res.Instrs
 		w.DynBranches += res.Branches
 		w.DynCalls += res.Calls
