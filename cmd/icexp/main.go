@@ -208,6 +208,12 @@ func main() {
 			return experiments.RenderExtExtendedSuite(e), nil
 		})
 	}
+	run := common.Registry.Counter("sweep.sims_run").Value()
+	memo := common.Registry.Counter("sweep.sims_memoized").Value()
+	stack := common.Registry.Counter("sweep.stack_pass_sizes").Value()
+	passes := common.Registry.Counter("sweep.trace_passes").Value()
+	fmt.Fprintf(os.Stderr, "sweep engine: %d simulations (%d stack-derived) in %d trace passes, %d served from memo\n",
+		run, stack, passes, memo)
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
 	common.MustClose()
 }

@@ -4,8 +4,9 @@
 // Usage:
 //
 //	icsim -trace prog.itr [-size 2048] [-block 64] [-assoc 1]
-//	      [-sector 0] [-partial] [-replacement lru|fifo|random]
-//	      [-prefetch] [-latency 0] [-cwf=true]
+//	      [-sizes 512,1024,...] [-sector 0] [-partial]
+//	      [-replacement lru|fifo|random] [-prefetch] [-latency 0]
+//	      [-cwf=true]
 //	      [-v] [-metrics-out m.json] [-cpuprofile f] [-memprofile f]
 //
 // It prints the miss ratio, memory traffic ratio, and (for partial
@@ -15,6 +16,12 @@
 // time are reported; -cwf=false disables critical-word-first load
 // forwarding. -prefetch adds next-block prefetch-on-miss (whole-block
 // fill only) and reports prefetch accuracy.
+//
+// -sizes replaces -size with a comma-separated cache size sweep,
+// simulated in a single pass over the trace: one LRU stack pass when
+// the organisation permits (fully associative, whole-block, untimed),
+// otherwise one broadcast replay into all sizes at once (see
+// docs/PERFORMANCE.md).
 package main
 
 import (
@@ -22,15 +29,20 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"strconv"
+	"strings"
 
 	"impact/internal/cache"
+	"impact/internal/cache/sweep"
 	"impact/internal/cliutil"
 	"impact/internal/memtrace"
+	"impact/internal/texttable"
 )
 
 func main() {
 	tracePath := flag.String("trace", "", "trace file (required)")
 	size := flag.Int("size", 2048, "cache size in bytes")
+	sizes := flag.String("sizes", "", "comma-separated cache sizes to sweep in one trace pass (overrides -size)")
 	block := flag.Int("block", 64, "block size in bytes")
 	assoc := flag.Int("assoc", 1, "associativity (0 = fully associative)")
 	sector := flag.Int("sector", 0, "sector size in bytes (0 = whole-block fill)")
@@ -76,6 +88,11 @@ func main() {
 	if *latency > 0 {
 		cfg.Timing = &cache.TimingConfig{InitialLatency: *latency, CriticalWordFirst: *cwf}
 	}
+	if *sizes != "" {
+		sweepSizes(cfg, tr, *sizes, *tracePath)
+		common.MustClose()
+		return
+	}
 	stats, err := cache.Simulate(cfg, tr)
 	if err != nil {
 		fatal(err)
@@ -101,6 +118,56 @@ func main() {
 		fmt.Printf("eff. access:  %.3f cycles/fetch\n", stats.EffectiveAccessTime())
 	}
 	common.MustClose()
+}
+
+// sweepSizes runs the -sizes size sweep: every size is simulated from
+// a single pass over the trace (a stack pass for fully associative
+// whole-block organisations, a broadcast replay otherwise).
+func sweepSizes(template cache.Config, tr *memtrace.Trace, list, tracePath string) {
+	var sizeList []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fatal(fmt.Errorf("bad -sizes entry %q: %w", f, err))
+		}
+		sizeList = append(sizeList, n)
+	}
+	stats, err := sweep.SweepSizes(tr, template, sizeList)
+	if err != nil {
+		fatal(err)
+	}
+	desc := fmt.Sprintf("%dB blocks", template.BlockBytes)
+	switch template.Assoc {
+	case 0:
+		desc += ", fully associative"
+	case 1:
+		desc += ", direct-mapped"
+	default:
+		desc += fmt.Sprintf(", %d-way", template.Assoc)
+	}
+	if template.Replacement != cache.LRU {
+		desc += ", " + template.Replacement.String()
+	}
+	if template.SectorBytes != 0 {
+		desc += fmt.Sprintf(", sector=%d", template.SectorBytes)
+	}
+	if template.PartialLoad {
+		desc += ", partial"
+	}
+	if template.PrefetchNext {
+		desc += ", prefetch"
+	}
+	if template.Timing != nil {
+		desc += fmt.Sprintf(", latency=%d", template.Timing.InitialLatency)
+	}
+	fmt.Printf("trace:    %s (%d instruction fetches, %d runs)\n", tracePath, tr.Instrs, len(tr.Runs))
+	fmt.Printf("template: %s\n", desc)
+	t := texttable.New("", "size", "misses", "miss", "traffic", "avg.exec")
+	for i, st := range stats {
+		t.Row(sizeList[i], st.Misses, texttable.Pct3(st.MissRatio()),
+			texttable.Pct(st.TrafficRatio()), fmt.Sprintf("%.1f", st.AvgExecWords()))
+	}
+	fmt.Print(t)
 }
 
 func fatal(err error) {

@@ -41,6 +41,7 @@ import (
 	"strings"
 
 	"impact/internal/cache"
+	"impact/internal/cache/sweep"
 	"impact/internal/cliutil"
 	"impact/internal/core"
 	"impact/internal/interp"
@@ -295,6 +296,7 @@ func cmdSimulate(args []string) {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	name, scale := benchFlag(fs)
 	size := fs.Int("size", 2048, "cache size in bytes")
+	sizes := fs.String("sizes", "", "comma-separated cache sizes to sweep in one trace pass per layout (overrides -size)")
 	block := fs.Int("block", 64, "block size in bytes")
 	assoc := fs.Int("assoc", 1, "associativity (0 = fully associative)")
 	sector := fs.Int("sector", 0, "sector bytes (0 = whole block)")
@@ -307,9 +309,6 @@ func cmdSimulate(args []string) {
 		SizeBytes: *size, BlockBytes: *block, Assoc: *assoc,
 		SectorBytes: *sector, PartialLoad: *partial,
 	}
-	if err := cfg.Validate(); err != nil {
-		fatal(err)
-	}
 
 	res := optimize(b, "full", common.Registry)
 	optTr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
@@ -318,6 +317,37 @@ func cmdSimulate(args []string) {
 	}
 	natTr, _, err := layout.Trace(layout.Natural(b.Prog), b.EvalSeed, b.EvalConfig())
 	if err != nil {
+		fatal(err)
+	}
+
+	if *sizes != "" {
+		var sizeList []int
+		for _, f := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fatal(fmt.Errorf("bad -sizes entry %q: %w", f, err))
+			}
+			sizeList = append(sizeList, n)
+		}
+		so, err := sweep.SweepSizes(optTr, cfg, sizeList)
+		if err != nil {
+			fatal(err)
+		}
+		sn, err := sweep.SweepSizes(natTr, cfg, sizeList)
+		if err != nil {
+			fatal(err)
+		}
+		t := texttable.New(fmt.Sprintf("%s size sweep (%dB blocks)", b.Name(), cfg.BlockBytes),
+			"size", "opt miss", "opt traffic", "nat miss", "nat traffic")
+		for i := range sizeList {
+			t.Row(sizeList[i],
+				texttable.Pct3(so[i].MissRatio()), texttable.Pct(so[i].TrafficRatio()),
+				texttable.Pct3(sn[i].MissRatio()), texttable.Pct(sn[i].TrafficRatio()))
+		}
+		fmt.Print(t.String())
+		return
+	}
+	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
 

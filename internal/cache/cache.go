@@ -287,6 +287,10 @@ type Cache struct {
 	sectorWds  uint32
 	clock      uint64
 	stats      Stats
+	// dm aliases the sets' backing array when the organisation is
+	// direct-mapped with whole-block fill, enabling a fast path that
+	// skips the way scan and LRU bookkeeping (see accessGroupDM).
+	dm []line
 
 	// exec-run tracking (avg.exec) and timing
 	execOpen  bool
@@ -341,11 +345,19 @@ func New(cfg Config) (*Cache, error) {
 	for i := range c.sets {
 		c.sets[i] = backing[i*assoc : (i+1)*assoc : (i+1)*assoc]
 	}
+	if assoc == 1 && cfg.SectorBytes == 0 && !cfg.PartialLoad {
+		c.dm = backing
+	}
 	if cfg.Replacement == RandomRepl {
-		c.rng = xrand.New(0x5eed)
+		c.rng = xrand.New(randomReplSeed)
 	}
 	return c, nil
 }
+
+// randomReplSeed seeds the RandomRepl victim stream; fixed so
+// simulations are reproducible, and reapplied by Reset so a reused
+// cache replays the identical stream a fresh one would.
+const randomReplSeed = 0x5eed
 
 // Config returns the simulated organisation.
 func (c *Cache) Config() Config { return c.cfg }
@@ -364,6 +376,9 @@ func (c *Cache) Reset() {
 	c.stats = Stats{}
 	c.execOpen = false
 	c.pendingFetch = 0
+	if c.cfg.Replacement == RandomRepl {
+		c.rng = xrand.New(randomReplSeed)
+	}
 }
 
 // lookup returns the way holding tag in set, or nil.
@@ -435,10 +450,11 @@ func (c *Cache) closeFetch(consumed uint64) {
 	c.pendingFetch = 0
 }
 
-// Run simulates the sequential fetch run r.
+// Run simulates the sequential fetch run r. A run whose end would
+// overflow the 32-bit address space is saturated, not wrapped (see
+// memtrace.Run.WordRange).
 func (c *Cache) Run(r memtrace.Run) {
-	w0 := r.Addr / WordBytes
-	w1 := (r.Addr + r.Bytes) / WordBytes
+	w0, w1 := r.WordRange()
 	if w1 <= w0 {
 		return
 	}
@@ -451,7 +467,11 @@ func (c *Cache) Run(r memtrace.Run) {
 		if gEnd > w1 {
 			gEnd = w1
 		}
-		c.accessGroup(mb, w, gEnd, w0)
+		if c.dm != nil {
+			c.accessGroupDM(mb, w, w0)
+		} else {
+			c.accessGroup(mb, w, gEnd, w0)
+		}
 		w = gEnd
 	}
 
@@ -481,6 +501,33 @@ func (c *Cache) prefetch(mb uint32) {
 	c.stats.Prefetches++
 	c.stats.MemWords += uint64(c.blockWords)
 	c.emitFetch(mb*c.blockWords, c.blockWords)
+}
+
+// accessGroupDM is the direct-mapped whole-block fast path: one line
+// per set, so there is no way scan, no victim choice, and no
+// replacement bookkeeping — a hit is two compares. It must stay
+// statistically identical to accessGroup for the same organisation
+// (the differential tests in cache_test.go and internal/cache/sweep
+// pin this); the LRU/FIFO stamp updates are skipped because a
+// single-way set never consults them.
+func (c *Cache) accessGroupDM(mb, gw0, runW0 uint32) {
+	ln := &c.dm[mb%c.numSets]
+	tag := mb / c.numSets
+	if ln.mask != 0 && ln.tag == tag {
+		if ln.pref {
+			ln.pref = false
+			c.stats.PrefetchUsed++
+		}
+		return
+	}
+	ln.tag = tag
+	ln.mask = c.fullMask
+	ln.pref = false
+	c.miss(uint64(gw0-runW0), c.blockWords, gw0%c.blockWords)
+	c.emitFetch(mb*c.blockWords, c.blockWords)
+	if c.cfg.PrefetchNext {
+		c.prefetch(mb + 1)
+	}
 }
 
 // accessGroup simulates the fetches of words [gw0, gEnd) that all fall

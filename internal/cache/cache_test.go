@@ -438,3 +438,108 @@ func TestSimulateRejectsBadConfig(t *testing.T) {
 		t.Fatal("bad config accepted")
 	}
 }
+
+// TestResetReseedsRandomReplacement pins the fix for a bug where Reset
+// cleared the cache contents but left the random-replacement RNG
+// mid-stream, so a reused cache diverged from a fresh one on the same
+// trace.
+func TestResetReseedsRandomReplacement(t *testing.T) {
+	cfg := Config{SizeBytes: 512, BlockBytes: 64, Assoc: 4, Replacement: RandomRepl}
+	tr := randomTrace(42, 400)
+
+	fresh := mustNew(t, cfg)
+	tr.Replay(fresh)
+	want := fresh.Stats()
+
+	reused := mustNew(t, cfg)
+	tr.Replay(reused) // advance the rng stream
+	reused.Reset()
+	tr.Replay(reused)
+	if got := reused.Stats(); got != want {
+		t.Errorf("after Reset: %+v, fresh cache: %+v", got, want)
+	}
+}
+
+// TestRunOverflowSaturates pins the fix for a bug where a run whose
+// Addr+Bytes exceeded the 32-bit address space wrapped the word range
+// and silently dropped the run (w1 < w0).
+func TestRunOverflowSaturates(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1024, BlockBytes: 64, Assoc: 1})
+	// 8 words nominally, but only 4 fit below 2^32; the rest saturate.
+	c.Run(run(0xFFFFFFF0, 0x20))
+	s := c.Stats()
+	if s.Accesses != 4 {
+		t.Fatalf("Accesses = %d, want 4 (overflowing tail must saturate, not wrap)", s.Accesses)
+	}
+	if s.Misses != 1 || s.MemWords != 16 {
+		t.Fatalf("stats after saturated run: %+v", s)
+	}
+	// A run starting exactly at the top of the address space is empty.
+	c.Run(run(0xFFFFFFFC, 4))
+	if got := c.Stats().Accesses; got != 5 {
+		t.Fatalf("Accesses = %d, want 5", got)
+	}
+}
+
+// TestMultiSimulateMatchesSimulate checks the broadcast replayer
+// against the sequential simulator across the full organisation
+// matrix, including timed configurations (which the stack algorithm
+// cannot cover, so MultiSimulate is their only fast path).
+func TestMultiSimulateMatchesSimulate(t *testing.T) {
+	cfgs := []Config{
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 0},
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 1},
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 4, Replacement: FIFO},
+		{SizeBytes: 512, BlockBytes: 32, Assoc: 2, Replacement: RandomRepl},
+		{SizeBytes: 1024, BlockBytes: 64, Assoc: 1, SectorBytes: 16},
+		{SizeBytes: 1024, BlockBytes: 64, Assoc: 1, PartialLoad: true},
+		{SizeBytes: 1024, BlockBytes: 32, Assoc: 1, PrefetchNext: true},
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, Timing: &TimingConfig{InitialLatency: 8}},
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		tr := randomTrace(seed, 500)
+		got, err := MultiSimulate(cfgs, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range cfgs {
+			want, err := Simulate(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Errorf("%v: MultiSimulate %+v, sequential %+v", cfg, got[i], want)
+			}
+		}
+	}
+}
+
+func TestMultiSimulateRejectsBadConfig(t *testing.T) {
+	_, err := MultiSimulate([]Config{{SizeBytes: 1024, BlockBytes: 64}, {SizeBytes: 7}}, &memtrace.Trace{})
+	if err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+// TestDirectMappedFastPathTiming pins the direct-mapped fast path's
+// timing integration: a timed DM config flows through the same
+// accessGroupDM code, so its stats minus stalls must equal the untimed
+// run exactly.
+func TestDirectMappedFastPathTiming(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		tr := randomTrace(seed, 600)
+		dm, err := Simulate(Config{SizeBytes: 1024, BlockBytes: 32, Assoc: 1}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		timed, err := Simulate(Config{SizeBytes: 1024, BlockBytes: 32, Assoc: 1,
+			Timing: &TimingConfig{InitialLatency: 4}}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		timed.StallCycles = 0
+		if dm != timed {
+			t.Errorf("seed %d: untimed %+v, timed-minus-stalls %+v", seed, dm, timed)
+		}
+	}
+}

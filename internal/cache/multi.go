@@ -1,0 +1,33 @@
+package cache
+
+import "impact/internal/memtrace"
+
+// MultiSimulate replays tr once, fanning every sequential run into a
+// fresh cache per configuration, and returns the per-configuration
+// statistics in input order. The results are identical to calling
+// Simulate once per configuration — each cache observes the exact same
+// access stream — but the trace's run list is walked a single time, so
+// the per-run dispatch cost is paid once instead of once per
+// configuration. This is the broadcast layer of the sweep engine (see
+// internal/cache/sweep and docs/PERFORMANCE.md).
+func MultiSimulate(cfgs []Config, tr *memtrace.Trace) ([]Stats, error) {
+	caches := make([]*Cache, len(cfgs))
+	for i, cfg := range cfgs {
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		caches[i] = c
+	}
+	for _, r := range tr.Runs {
+		for _, c := range caches {
+			c.Run(r)
+		}
+	}
+	out := make([]Stats, len(cfgs))
+	for i, c := range caches {
+		out[i] = c.Stats()
+		record(out[i])
+	}
+	return out, nil
+}

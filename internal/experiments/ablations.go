@@ -6,6 +6,7 @@ import (
 	"impact/internal/cache"
 	"impact/internal/core"
 	"impact/internal/layout"
+	"impact/internal/memtrace"
 	"impact/internal/texttable"
 )
 
@@ -47,46 +48,35 @@ func AblationLayout(s *Suite) ([]AblationLayoutRow, error) {
 		b := p.Bench
 		row := AblationLayoutRow{Name: p.Name(), Miss: make(map[string]float64)}
 
-		nat, err := cache.Simulate(cfg2k, p.NatTrace)
-		if err != nil {
-			return nil, err
-		}
-		row.Miss["natural"] = nat.MissRatio()
+		traces := map[string]*memtrace.Trace{"natural": p.NatTrace, "full": p.OptTrace}
 
-		rndTr, _, err := layout.Trace(layout.Random(b.Prog, 0xAB1), b.EvalSeed, b.EvalConfig())
+		_, rndTr, err := p.deriveTrace("layout:random", func() (*core.Result, *memtrace.Trace, error) {
+			tr, _, err := layout.Trace(layout.Random(b.Prog, 0xAB1), b.EvalSeed, b.EvalConfig())
+			return nil, tr, err
+		})
 		if err != nil {
 			return nil, err
 		}
-		rnd, err := cache.Simulate(cfg2k, rndTr)
-		if err != nil {
-			return nil, err
-		}
-		row.Miss["random"] = rnd.MissRatio()
+		traces["random"] = rndTr
 
 		for name, st := range strategies {
 			ccfg := core.DefaultConfig(b.ProfileSeeds...)
 			ccfg.Interp = b.InterpConfig()
 			ccfg.Strategy = st
-			res, err := core.Optimize(b.Prog, ccfg)
+			_, tr, err := p.deriveOptimize("layout:"+name, ccfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", p.Name(), name, err)
 			}
-			tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
-			if err != nil {
-				return nil, err
-			}
-			st2k, err := cache.Simulate(cfg2k, tr)
+			traces[name] = tr
+		}
+
+		for _, name := range LayoutStrategies {
+			st2k, err := sharedEngine.Simulate(cfg2k, traces[name])
 			if err != nil {
 				return nil, err
 			}
 			row.Miss[name] = st2k.MissRatio()
 		}
-
-		full, err := cache.Simulate(cfg2k, p.OptTrace)
-		if err != nil {
-			return nil, err
-		}
-		row.Miss["full"] = full.MissRatio()
 		out = append(out, row)
 	}
 	return out, nil
@@ -122,9 +112,22 @@ type AblationAssocRow struct {
 	Natural   map[int]float64
 }
 
-// AblationAssoc sweeps associativity at 2KB/64B over both layouts.
+// AblationAssoc sweeps associativity at 2KB/64B over both layouts,
+// batched into one engine pass over the suite.
 func AblationAssoc(s *Suite) ([]AblationAssocRow, error) {
+	var reqs []SimRequest
+	for _, p := range s.Items {
+		for _, a := range Associativities {
+			cfg := cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: a}
+			reqs = append(reqs, SimRequest{p.OptTrace, cfg}, SimRequest{p.NatTrace, cfg})
+		}
+	}
+	stats, err := sharedEngine.Batch(reqs)
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationAssocRow
+	i := 0
 	for _, p := range s.Items {
 		row := AblationAssocRow{
 			Name:      p.Name(),
@@ -132,17 +135,9 @@ func AblationAssoc(s *Suite) ([]AblationAssocRow, error) {
 			Natural:   make(map[int]float64),
 		}
 		for _, a := range Associativities {
-			cfg := cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: a}
-			so, err := measure(p, cfg, true)
-			if err != nil {
-				return nil, err
-			}
-			sn, err := measure(p, cfg, false)
-			if err != nil {
-				return nil, err
-			}
-			row.Optimized[a] = so.MissRatio()
-			row.Natural[a] = sn.MissRatio()
+			row.Optimized[a] = stats[i].MissRatio()
+			row.Natural[a] = stats[i+1].MissRatio()
+			i += 2
 		}
 		out = append(out, row)
 	}
@@ -207,16 +202,21 @@ func AblationMinProb(s *Suite) ([]AblationMinProbRow, error) {
 		for _, mp := range MinProbValues {
 			ccfg := core.DefaultConfig(b.ProfileSeeds...)
 			ccfg.Interp = b.InterpConfig()
-			ccfg.MinProb = mp
-			res, err := core.Optimize(b.Prog, ccfg)
-			if err != nil {
-				return nil, err
+			var res *core.Result
+			var tr *memtrace.Trace
+			var err error
+			if mp == ccfg.MinProb {
+				// The paper's threshold is the pipeline default, so the
+				// prepared result is this very variant.
+				res, tr = p.Opt, p.OptTrace
+			} else {
+				ccfg.MinProb = mp
+				res, tr, err = p.deriveOptimize(fmt.Sprintf("minprob:%g", mp), ccfg)
+				if err != nil {
+					return nil, err
+				}
 			}
-			tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
-			if err != nil {
-				return nil, err
-			}
-			st, err := cache.Simulate(cfg2k, tr)
+			st, err := sharedEngine.Simulate(cfg2k, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -256,7 +256,7 @@ func AblationGlobal(s *Suite) (withDFS, withoutDFS float64, err error) {
 		b := p.Bench
 
 		// With DFS: the prepared full-pipeline trace.
-		st, err := cache.Simulate(cfg2k, p.OptTrace)
+		st, err := sharedEngine.Simulate(cfg2k, p.OptTrace)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -266,15 +266,11 @@ func AblationGlobal(s *Suite) (withDFS, withoutDFS float64, err error) {
 		ccfg := core.DefaultConfig(b.ProfileSeeds...)
 		ccfg.Interp = b.InterpConfig()
 		ccfg.Strategy = core.Strategy{Inline: true, TraceLayout: true, SplitCold: true}
-		res, err := core.Optimize(b.Prog, ccfg)
+		_, tr, err := p.deriveOptimize("global:no-dfs", ccfg)
 		if err != nil {
 			return 0, 0, err
 		}
-		tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
-		if err != nil {
-			return 0, 0, err
-		}
-		st, err = cache.Simulate(cfg2k, tr)
+		st, err = sharedEngine.Simulate(cfg2k, tr)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -299,18 +295,27 @@ type AblationReplacementRow struct {
 	Miss map[cache.Replacement]float64
 }
 
-// AblationReplacement sweeps the replacement policy.
+// AblationReplacement sweeps the replacement policy in one engine
+// batch (the three policies share a broadcast replay per benchmark).
 func AblationReplacement(s *Suite) ([]AblationReplacementRow, error) {
+	var reqs []SimRequest
+	for _, p := range s.Items {
+		for _, rep := range ReplacementPolicies {
+			reqs = append(reqs, SimRequest{p.OptTrace,
+				cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 4, Replacement: rep}})
+		}
+	}
+	stats, err := sharedEngine.Batch(reqs)
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationReplacementRow
+	i := 0
 	for _, p := range s.Items {
 		row := AblationReplacementRow{Name: p.Name(), Miss: make(map[cache.Replacement]float64)}
 		for _, rep := range ReplacementPolicies {
-			cfg := cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 4, Replacement: rep}
-			st, err := measure(p, cfg, true)
-			if err != nil {
-				return nil, err
-			}
-			row.Miss[rep] = st.MissRatio()
+			row.Miss[rep] = stats[i].MissRatio()
+			i++
 		}
 		out = append(out, row)
 	}
@@ -353,7 +358,7 @@ func AblationGlobalAlgo(s *Suite) ([]AblationGlobalAlgoRow, error) {
 	var out []AblationGlobalAlgoRow
 	for _, p := range s.Items {
 		b := p.Bench
-		dfs, err := cache.Simulate(cfg2k, p.OptTrace)
+		dfs, err := sharedEngine.Simulate(cfg2k, p.OptTrace)
 		if err != nil {
 			return nil, err
 		}
@@ -362,15 +367,11 @@ func AblationGlobalAlgo(s *Suite) ([]AblationGlobalAlgoRow, error) {
 		ccfg.Interp = b.InterpConfig()
 		ccfg.Strategy = core.FullStrategy()
 		ccfg.Strategy.PettisHansen = true
-		res, err := core.Optimize(b.Prog, ccfg)
+		_, tr, err := p.deriveOptimize("globalalgo:ph", ccfg)
 		if err != nil {
 			return nil, err
 		}
-		tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
-		if err != nil {
-			return nil, err
-		}
-		ph, err := cache.Simulate(cfg2k, tr)
+		ph, err := sharedEngine.Simulate(cfg2k, tr)
 		if err != nil {
 			return nil, err
 		}

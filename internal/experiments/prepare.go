@@ -42,6 +42,57 @@ type Prepared struct {
 	// OptRun / NatRun are the evaluation execution summaries.
 	OptRun interp.Result
 	NatRun interp.Result
+
+	// derived memoizes pipeline-variant outputs (ablation strategies,
+	// MIN_PROB sweeps, code scaling) keyed by variant name. The
+	// pipeline is deterministic, so a variant's result and evaluation
+	// trace never change across re-runs; caching them turns repeated
+	// table generation from pipeline-bound into a map lookup.
+	derivedMu sync.Mutex
+	derived   map[string]*derivedVariant
+}
+
+// derivedVariant is one memoized pipeline re-run.
+type derivedVariant struct {
+	res *core.Result
+	tr  *memtrace.Trace
+	err error
+}
+
+// deriveTrace returns the memoized (pipeline result, evaluation trace)
+// for the named variant, building it on first use. Errors are cached
+// too — a deterministic build that failed once will fail identically.
+// The per-variant lock is held across the build: concurrent callers of
+// the same variant wait rather than duplicating a pipeline run.
+func (p *Prepared) deriveTrace(variant string, build func() (*core.Result, *memtrace.Trace, error)) (*core.Result, *memtrace.Trace, error) {
+	p.derivedMu.Lock()
+	defer p.derivedMu.Unlock()
+	if p.derived == nil {
+		p.derived = make(map[string]*derivedVariant)
+	}
+	v, ok := p.derived[variant]
+	if !ok {
+		v = &derivedVariant{}
+		v.res, v.tr, v.err = build()
+		p.derived[variant] = v
+	}
+	return v.res, v.tr, v.err
+}
+
+// deriveOptimize is deriveTrace for the common shape: run the pipeline
+// with a tweaked config, then trace the evaluation run.
+func (p *Prepared) deriveOptimize(variant string, cfg core.Config) (*core.Result, *memtrace.Trace, error) {
+	return p.deriveTrace(variant, func() (*core.Result, *memtrace.Trace, error) {
+		res, err := core.Optimize(p.Bench.Prog, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr, _, err := res.EvalTrace(p.Bench.EvalSeed, p.Bench.EvalConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, tr, nil
+	})
 }
 
 // Name returns the benchmark name.
@@ -118,6 +169,9 @@ func PrepareBenchmarks(benchmarks []*workload.Benchmark) (*Suite, error) {
 // parallel across CPUs, reporting per-benchmark progress and metrics
 // through opts.
 func PrepareBenchmarksWith(benchmarks []*workload.Benchmark, opts Options) (*Suite, error) {
+	if opts.Obs != nil {
+		sharedEngine.AttachObs(opts.Obs)
+	}
 	items := make([]*Prepared, len(benchmarks))
 	errs := make([]error, len(benchmarks))
 	workers := runtime.GOMAXPROCS(0)

@@ -6,6 +6,7 @@ import (
 	"impact/internal/cache"
 	"impact/internal/core"
 	"impact/internal/ir"
+	"impact/internal/memtrace"
 	"impact/internal/texttable"
 )
 
@@ -40,27 +41,37 @@ func Table9(s *Suite) ([]Table9Row, error) {
 }
 
 // scaleResult runs the full pipeline and the 2KB/64B partial-loading
-// measurement on a code-scaled copy of the benchmark.
+// measurement on a code-scaled copy of the benchmark. Pipeline re-runs
+// and evaluation traces are memoized per (benchmark, factor); factor
+// 1.0 is the prepared state itself, trace included — re-deriving it
+// would replay the whole evaluation interpreter for an identical
+// trace.
 func scaleResult(p *Prepared, factor float64) (CacheResult, error) {
 	b := p.Bench
-	var res *core.Result
-	var err error
+	var tr *memtrace.Trace
 	if factor == 1.0 {
-		res = p.Opt // reuse the prepared pipeline output
+		tr = p.OptTrace
 	} else {
-		scaled := ir.ScaleCode(b.Prog, factor)
-		cfg := core.DefaultConfig(b.ProfileSeeds...)
-		cfg.Interp = b.InterpConfig()
-		res, err = core.Optimize(scaled, cfg)
+		var err error
+		_, tr, err = p.deriveTrace(fmt.Sprintf("scale:%g", factor), func() (*core.Result, *memtrace.Trace, error) {
+			scaled := ir.ScaleCode(b.Prog, factor)
+			cfg := core.DefaultConfig(b.ProfileSeeds...)
+			cfg.Interp = b.InterpConfig()
+			res, err := core.Optimize(scaled, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
+			if err != nil {
+				return nil, nil, err
+			}
+			return res, tr, nil
+		})
 		if err != nil {
 			return CacheResult{}, err
 		}
 	}
-	tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
-	if err != nil {
-		return CacheResult{}, err
-	}
-	st, err := cache.Simulate(cache.Config{
+	st, err := sharedEngine.Simulate(cache.Config{
 		SizeBytes: 2048, BlockBytes: 64, Assoc: 1, PartialLoad: true,
 	}, tr)
 	if err != nil {

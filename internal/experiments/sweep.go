@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"impact/internal/cache"
+	"impact/internal/cache/sweep"
+	"impact/internal/memtrace"
+	"impact/internal/obs"
+)
+
+// The sweep engine is the single entry point for every cache
+// measurement the experiments make. It exists because the tables
+// overlap massively — the same (trace, organisation) pair is measured
+// by several tables, the same trace is swept across many organisations,
+// and benchmark harnesses regenerate identical tables repeatedly — so
+// the engine deduplicates at two levels:
+//
+//  1. Results are memoized under a content-addressed key (trace
+//     fingerprint + canonical organisation), so a measurement is paid
+//     for once per process no matter how many tables ask for it, even
+//     when a deterministic pipeline re-run produced a fresh but
+//     identical trace value.
+//  2. Misses are scheduled to minimise trace passes: organisations the
+//     LRU stack algorithm covers are grouped by geometry and answered
+//     by one stack pass per group (sweep.StackPass), and the remainder
+//     share one broadcast replay per trace (cache.MultiSimulate).
+//
+// Work units run on a bounded worker pool. Every derived statistic is
+// bit-identical to sequential cache.Simulate — the differential tests
+// in sweep_test.go and internal/cache/sweep pin this.
+
+// SimRequest names one measurement: a trace replayed into a cache
+// organisation.
+type SimRequest struct {
+	Trace  *memtrace.Trace
+	Config cache.Config
+}
+
+// canonConfig is a comparable, canonical form of cache.Config used in
+// memo keys: explicit associativity (0 becomes the block count), the
+// replacement policy flattened to LRU for single-way sets (which never
+// consult it), and the timing pointer flattened to values.
+type canonConfig struct {
+	size, block, assoc int
+	sector             int
+	repl               cache.Replacement
+	partial, prefetch  bool
+	timed              bool
+	latency            int
+	cwf                bool
+}
+
+func canonicalize(cfg cache.Config) canonConfig {
+	assoc := cfg.Assoc
+	if assoc == 0 {
+		assoc = cfg.SizeBytes / cfg.BlockBytes
+	}
+	repl := cfg.Replacement
+	if assoc == 1 {
+		repl = cache.LRU
+	}
+	cc := canonConfig{
+		size: cfg.SizeBytes, block: cfg.BlockBytes, assoc: assoc,
+		sector: cfg.SectorBytes, repl: repl,
+		partial: cfg.PartialLoad, prefetch: cfg.PrefetchNext,
+	}
+	if t := cfg.Timing; t != nil {
+		cc.timed, cc.latency, cc.cwf = true, t.InitialLatency, t.CriticalWordFirst
+	}
+	return cc
+}
+
+// config reconstructs a simulatable cache.Config.
+func (cc canonConfig) config() cache.Config {
+	cfg := cache.Config{
+		SizeBytes: cc.size, BlockBytes: cc.block, Assoc: cc.assoc,
+		Replacement: cc.repl, SectorBytes: cc.sector,
+		PartialLoad: cc.partial, PrefetchNext: cc.prefetch,
+	}
+	if cc.timed {
+		cfg.Timing = &cache.TimingConfig{InitialLatency: cc.latency, CriticalWordFirst: cc.cwf}
+	}
+	return cfg
+}
+
+// simKey identifies one measurement by content, not identity: two
+// distinct trace values with equal runs hash to the same key, so
+// deterministic pipeline re-runs (ablations, repeated table
+// generation) hit the memo.
+type simKey struct {
+	fp  uint64
+	cfg canonConfig
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed hash
+// step for the trace fingerprint.
+func mix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// fingerprint content-hashes a trace. Cost is one multiply-xor chain
+// per run — negligible next to a simulation, which walks every word.
+func fingerprint(tr *memtrace.Trace) uint64 {
+	h := mix64(uint64(len(tr.Runs))) ^ mix64(tr.Instrs)
+	for _, r := range tr.Runs {
+		h = mix64(h ^ (uint64(r.Addr)<<32 | uint64(r.Bytes)))
+	}
+	return h
+}
+
+// sweepObs holds pre-resolved instrument handles.
+type sweepObs struct {
+	reg          *obs.Registry
+	simsRun      *obs.Counter
+	simsMemoized *obs.Counter
+	stackDerived *obs.Counter
+	tracePasses  *obs.Counter
+}
+
+// Engine memoizes and schedules cache measurements. The zero value is
+// not usable; use NewEngine. Engines are safe for concurrent use.
+type Engine struct {
+	mu   sync.Mutex
+	memo map[simKey]cache.Stats
+	obs  atomic.Pointer[sweepObs]
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{memo: make(map[simKey]cache.Stats)}
+}
+
+// sharedEngine backs every measurement in this package, so results are
+// shared across tables, ablations, and repeated invocations within a
+// process.
+var sharedEngine = NewEngine()
+
+// AttachObs routes engine metrics to r (counters sweep.sims_run,
+// sweep.sims_memoized, sweep.stack_pass_sizes, sweep.trace_passes and
+// the sweep/batch span). Pass nil to detach.
+func (e *Engine) AttachObs(r *obs.Registry) {
+	if r == nil {
+		e.obs.Store(nil)
+		return
+	}
+	e.obs.Store(&sweepObs{
+		reg:          r,
+		simsRun:      r.Counter("sweep.sims_run"),
+		simsMemoized: r.Counter("sweep.sims_memoized"),
+		stackDerived: r.Counter("sweep.stack_pass_sizes"),
+		tracePasses:  r.Counter("sweep.trace_passes"),
+	})
+}
+
+// Simulate measures one (trace, organisation) pair through the memo.
+func (e *Engine) Simulate(cfg cache.Config, tr *memtrace.Trace) (cache.Stats, error) {
+	out, err := e.Batch([]SimRequest{{Trace: tr, Config: cfg}})
+	if err != nil {
+		return cache.Stats{}, err
+	}
+	return out[0], nil
+}
+
+// workUnit is one trace pass: either a stack pass deriving several
+// organisations or a broadcast replay of the rest.
+type workUnit struct {
+	tr   *memtrace.Trace
+	keys []simKey
+	// stack geometry; nil keys run through MultiSimulate instead.
+	stack             bool
+	blockBytes, nSets int
+}
+
+// Batch measures every request, deduplicating against the memo and
+// within the batch, and returns results in request order.
+func (e *Engine) Batch(reqs []SimRequest) ([]cache.Stats, error) {
+	o := e.obs.Load()
+	var sp *obs.Span
+	if o != nil {
+		sp = o.reg.Span("sweep/batch")
+	}
+	defer sp.End()
+
+	out := make([]cache.Stats, len(reqs))
+	keys := make([]simKey, len(reqs))
+	fps := make(map[*memtrace.Trace]uint64)
+	for i, rq := range reqs {
+		if rq.Trace == nil {
+			return nil, fmt.Errorf("experiments: sweep request %d has nil trace", i)
+		}
+		if err := rq.Config.Validate(); err != nil {
+			return nil, err
+		}
+		fp, ok := fps[rq.Trace]
+		if !ok {
+			fp = fingerprint(rq.Trace)
+			fps[rq.Trace] = fp
+		}
+		keys[i] = simKey{fp: fp, cfg: canonicalize(rq.Config)}
+	}
+
+	// Resolve memo hits and collect the distinct keys still to run,
+	// remembering a representative trace per key and per fingerprint.
+	pending := make(map[simKey]*memtrace.Trace)
+	var memoized, deduped uint64
+	e.mu.Lock()
+	for i, k := range keys {
+		if st, ok := e.memo[k]; ok {
+			out[i] = st
+			memoized++
+			continue
+		}
+		if _, ok := pending[k]; ok {
+			deduped++
+			continue
+		}
+		pending[k] = reqs[i].Trace
+	}
+	e.mu.Unlock()
+	if o != nil {
+		o.simsMemoized.Add(memoized + deduped)
+		o.simsRun.Add(uint64(len(pending)))
+	}
+	if len(pending) == 0 {
+		return out, nil
+	}
+
+	units := e.plan(pending)
+	results := make(map[simKey]cache.Stats, len(pending))
+	var resMu sync.Mutex
+	if err := runUnits(units, func(u workUnit) error {
+		got, err := u.run()
+		if err != nil {
+			return err
+		}
+		resMu.Lock()
+		for i, k := range u.keys {
+			results[k] = got[i]
+		}
+		resMu.Unlock()
+		if o != nil {
+			o.tracePasses.Inc()
+			if u.stack {
+				o.stackDerived.Add(uint64(len(u.keys)))
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	for k, st := range results {
+		e.memo[k] = st
+	}
+	e.mu.Unlock()
+	for i, k := range keys {
+		if st, ok := results[k]; ok {
+			out[i] = st
+		}
+	}
+	return out, nil
+}
+
+// plan splits the pending keys into trace passes: per trace, one stack
+// pass per geometry group that pays for itself (two or more derivable
+// organisations, or one whose way scan would be wide), and one
+// broadcast replay for everything else.
+func (e *Engine) plan(pending map[simKey]*memtrace.Trace) []workUnit {
+	type geomKey struct {
+		fp           uint64
+		block, nSets int
+	}
+	stackGroups := make(map[geomKey][]simKey)
+	eligible := make(map[simKey]geomKey)
+	for k := range pending {
+		cfg := k.cfg.config()
+		if sweep.Eligible(cfg) {
+			block, sets := sweep.Geometry(cfg)
+			g := geomKey{fp: k.fp, block: block, nSets: sets}
+			stackGroups[g] = append(stackGroups[g], k)
+			eligible[k] = g
+		}
+	}
+	var units []workUnit
+	replay := make(map[uint64]*workUnit)
+	for k, tr := range pending {
+		if g, ok := eligible[k]; ok {
+			group := stackGroups[g]
+			// A lone low-associativity organisation replays as fast as
+			// it stacks; group passes and wide way scans favour the
+			// stack.
+			if len(group) >= 2 || k.cfg.assoc > 8 {
+				continue // handled as a stack group below
+			}
+			delete(stackGroups, g)
+		}
+		u := replay[k.fp]
+		if u == nil {
+			u = &workUnit{tr: tr}
+			replay[k.fp] = u
+		}
+		u.keys = append(u.keys, k)
+	}
+	for g, group := range stackGroups {
+		if len(group) >= 2 || group[0].cfg.assoc > 8 {
+			units = append(units, workUnit{
+				tr: pending[group[0]], keys: group,
+				stack: true, blockBytes: g.block, nSets: g.nSets,
+			})
+		}
+	}
+	for _, u := range replay {
+		units = append(units, *u)
+	}
+	return units
+}
+
+// run executes one trace pass and returns stats aligned with u.keys.
+func (u workUnit) run() ([]cache.Stats, error) {
+	if u.stack {
+		p, err := sweep.Run(u.tr, u.blockBytes, u.nSets)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]cache.Stats, len(u.keys))
+		for i, k := range u.keys {
+			st, err := p.Stats(k.cfg.config())
+			if err != nil {
+				return nil, err
+			}
+			out[i] = st
+		}
+		return out, nil
+	}
+	cfgs := make([]cache.Config, len(u.keys))
+	for i, k := range u.keys {
+		cfgs[i] = k.cfg.config()
+	}
+	return cache.MultiSimulate(cfgs, u.tr)
+}
+
+// runUnits executes the units on a worker pool bounded by GOMAXPROCS
+// and returns the first error.
+func runUnits(units []workUnit, do func(workUnit) error) error {
+	if len(units) == 1 {
+		return do(units[0])
+	}
+	workers := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(units))
+	var wg sync.WaitGroup
+	for i, u := range units {
+		wg.Add(1)
+		go func(i int, u workUnit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = do(u)
+		}(i, u)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,13 +14,15 @@ type CacheResult struct {
 	Traffic float64
 }
 
-// measure replays a prepared trace into a cache configuration.
+// measure replays a prepared trace into a cache configuration through
+// the shared sweep engine, so repeated measurements of the same
+// (trace, organisation) pair are served from the memo.
 func measure(p *Prepared, cfg cache.Config, optimized bool) (cache.Stats, error) {
 	tr := p.OptTrace
 	if !optimized {
 		tr = p.NatTrace
 	}
-	return cache.Simulate(cfg, tr)
+	return sharedEngine.Simulate(cfg, tr)
 }
 
 // ---------------------------------------------------------------------------
@@ -42,25 +44,36 @@ type Table1Cell struct {
 	OptimizedDM float64
 }
 
-// Table1 reproduces the design-target comparison.
+// Table1 reproduces the design-target comparison. All measurements go
+// through one engine batch: the fully associative size sweeps collapse
+// into one LRU stack pass per (benchmark, block size), and the
+// direct-mapped points share one broadcast replay per benchmark.
 func Table1(s *Suite) ([]Table1Cell, error) {
+	var reqs []SimRequest
+	for _, cs := range smith.CacheSizes {
+		for _, bs := range smith.BlockSizes {
+			for _, p := range s.Items {
+				reqs = append(reqs,
+					SimRequest{p.NatTrace, cache.Config{SizeBytes: cs, BlockBytes: bs, Assoc: 0}},
+					SimRequest{p.OptTrace, cache.Config{SizeBytes: cs, BlockBytes: bs, Assoc: 1}})
+			}
+		}
+	}
+	stats, err := sharedEngine.Batch(reqs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Table1Cell
+	i := 0
 	for _, cs := range smith.CacheSizes {
 		for _, bs := range smith.BlockSizes {
 			target, _ := smith.MissRatio(cs, bs)
 			cell := Table1Cell{CacheBytes: cs, BlockBytes: bs, Smith: target}
 			var fa, dm float64
-			for _, p := range s.Items {
-				sf, err := measure(p, cache.Config{SizeBytes: cs, BlockBytes: bs, Assoc: 0}, false)
-				if err != nil {
-					return nil, err
-				}
-				sd, err := measure(p, cache.Config{SizeBytes: cs, BlockBytes: bs, Assoc: 1}, true)
-				if err != nil {
-					return nil, err
-				}
-				fa += sf.MissRatio()
-				dm += sd.MissRatio()
+			for range s.Items {
+				fa += stats[i].MissRatio()
+				dm += stats[i+1].MissRatio()
+				i += 2
 			}
 			n := float64(len(s.Items))
 			cell.NaturalFA = fa / n
@@ -259,17 +272,26 @@ type Table6Row struct {
 }
 
 // Table6 sweeps cache size at a fixed 64-byte block size over the
-// optimized layout.
+// optimized layout. One engine batch: the direct-mapped sizes share a
+// single broadcast replay per benchmark.
 func Table6(s *Suite) ([]Table6Row, error) {
+	var reqs []SimRequest
+	for _, p := range s.Items {
+		for _, cs := range Table6CacheSizes {
+			reqs = append(reqs, SimRequest{p.OptTrace, cache.Config{SizeBytes: cs, BlockBytes: 64, Assoc: 1}})
+		}
+	}
+	stats, err := sharedEngine.Batch(reqs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Table6Row
+	i := 0
 	for _, p := range s.Items {
 		row := Table6Row{Name: p.Name(), Results: make(map[int]CacheResult)}
 		for _, cs := range Table6CacheSizes {
-			st, err := measure(p, cache.Config{SizeBytes: cs, BlockBytes: 64, Assoc: 1}, true)
-			if err != nil {
-				return nil, err
-			}
-			row.Results[cs] = CacheResult{Miss: st.MissRatio(), Traffic: st.TrafficRatio()}
+			row.Results[cs] = CacheResult{Miss: stats[i].MissRatio(), Traffic: stats[i].TrafficRatio()}
+			i++
 		}
 		out = append(out, row)
 	}
@@ -319,17 +341,25 @@ type Table7Row struct {
 }
 
 // Table7 sweeps block size at a fixed 2048-byte cache over the
-// optimized layout.
+// optimized layout, batched into one broadcast replay per benchmark.
 func Table7(s *Suite) ([]Table7Row, error) {
+	var reqs []SimRequest
+	for _, p := range s.Items {
+		for _, bs := range Table7BlockSizes {
+			reqs = append(reqs, SimRequest{p.OptTrace, cache.Config{SizeBytes: 2048, BlockBytes: bs, Assoc: 1}})
+		}
+	}
+	stats, err := sharedEngine.Batch(reqs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Table7Row
+	i := 0
 	for _, p := range s.Items {
 		row := Table7Row{Name: p.Name(), Results: make(map[int]CacheResult)}
 		for _, bs := range Table7BlockSizes {
-			st, err := measure(p, cache.Config{SizeBytes: 2048, BlockBytes: bs, Assoc: 1}, true)
-			if err != nil {
-				return nil, err
-			}
-			row.Results[bs] = CacheResult{Miss: st.MissRatio(), Traffic: st.TrafficRatio()}
+			row.Results[bs] = CacheResult{Miss: stats[i].MissRatio(), Traffic: stats[i].TrafficRatio()}
+			i++
 		}
 		out = append(out, row)
 	}
@@ -366,18 +396,22 @@ type Table8Row struct {
 	PartialExec  float64 // avg.exec, consecutive instructions used
 }
 
-// Table8 measures sectoring and partial loading.
+// Table8 measures sectoring and partial loading, batched so both
+// organisations share one broadcast replay per benchmark.
 func Table8(s *Suite) ([]Table8Row, error) {
-	var out []Table8Row
+	var reqs []SimRequest
 	for _, p := range s.Items {
-		sec, err := measure(p, cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, SectorBytes: 8}, true)
-		if err != nil {
-			return nil, err
-		}
-		par, err := measure(p, cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, PartialLoad: true}, true)
-		if err != nil {
-			return nil, err
-		}
+		reqs = append(reqs,
+			SimRequest{p.OptTrace, cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, SectorBytes: 8}},
+			SimRequest{p.OptTrace, cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, PartialLoad: true}})
+	}
+	stats, err := sharedEngine.Batch(reqs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Table8Row
+	for i, p := range s.Items {
+		sec, par := stats[2*i], stats[2*i+1]
 		out = append(out, Table8Row{
 			Name:         p.Name(),
 			Sector:       CacheResult{Miss: sec.MissRatio(), Traffic: sec.TrafficRatio()},

@@ -35,6 +35,21 @@ type Run struct {
 // Words returns the number of instruction fetches in the run.
 func (r Run) Words() uint32 { return r.Bytes / WordBytes }
 
+// WordRange returns the half-open range [w0, w1) of word indices the
+// run covers. A run whose Addr+Bytes would overflow uint32 saturates
+// at the top of the address space instead of wrapping: wrap-around
+// would silently drop the run (or worse, alias low memory), so the
+// accessible prefix is kept and the overflowing tail is discarded.
+// Well-formed traces (everything Read accepts) never saturate.
+func (r Run) WordRange() (w0, w1 uint32) {
+	w0 = r.Addr / WordBytes
+	end := uint64(r.Addr) + uint64(r.Bytes)
+	if end > 1<<32 {
+		end = 1 << 32
+	}
+	return w0, uint32(end / WordBytes)
+}
+
 // Sink consumes a stream of runs.
 type Sink interface {
 	Run(r Run)

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench.sh — run the table benchmarks and record the results as JSON.
+#
+# Usage:
+#
+#   scripts/bench.sh [bench-regexp]
+#
+# Environment:
+#
+#   IMPACT_BENCH_SCALE  trace scale passed to the suite (default 0.25,
+#                       the same scale the acceptance numbers use)
+#   BENCHTIME           go test -benchtime value (default 3x, so the
+#                       memoized steady state shows up after the cold
+#                       first iteration)
+#   OUT                 output file (default BENCH_PR2.json)
+#
+# The JSON maps each benchmark to its ns/op plus every custom metric
+# the benchmark reports (miss2K%, traffic2K%, ...), so performance and
+# correctness-bearing outputs are recorded side by side.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${IMPACT_BENCH_SCALE:-0.25}"
+BENCHTIME="${BENCHTIME:-3x}"
+PATTERN="${1:-^BenchmarkTable}"
+OUT="${OUT:-BENCH_PR2.json}"
+
+raw=$(IMPACT_BENCH_SCALE="$SCALE" go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" .)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v scale="$SCALE" -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    metrics = sprintf("\"ns/op\": %s", $3)
+    for (i = 5; i + 1 <= NF; i += 2)
+        metrics = metrics sprintf(", \"%s\": %s", $(i + 1), $i)
+    entry[n++] = sprintf("    \"%s\": { %s }", name, metrics)
+}
+END {
+    printf "{\n  \"scale\": %s,\n  \"benchtime\": \"%s\",\n  \"benchmarks\": {\n", scale, benchtime
+    for (i = 0; i < n; i++)
+        printf "%s%s\n", entry[i], (i < n - 1 ? "," : "")
+    print "  }"
+    print "}"
+}' > "$OUT"
+
+echo "wrote $OUT"
