@@ -5,13 +5,15 @@
 // Usage:
 //
 //	icexp [-scale 1.0] [-tables 1,2,3,...] [-ablations] [-extensions]
-//	      [-v] [-metrics-out m.json] [-cpuprofile cpu.pb.gz]
-//	      [-memprofile mem.pb.gz]
+//	      [-check off|warn|strict] [-v] [-metrics-out m.json]
+//	      [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // -scale multiplies the dynamic trace lengths (1.0 reproduces the
 // default experiment; smaller values give quick approximate runs).
-// The observability flags are shared by all commands; see
-// docs/OBSERVABILITY.md.
+// -check enables the internal/check pipeline verifier during suite
+// preparation (see docs/VERIFICATION.md); strict mode fails on any
+// invariant violation. The observability flags are shared by all
+// commands; see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"impact/internal/check"
 	"impact/internal/cliutil"
 	"impact/internal/experiments"
 )
@@ -31,8 +34,13 @@ func main() {
 	tables := flag.String("tables", "1,2,3,4,5,6,7,8,9", "comma-separated table numbers to produce")
 	ablations := flag.Bool("ablations", false, "also run the ablation studies (A1-A3, A5, A6; A4 is bench-only)")
 	extensions := flag.Bool("extensions", false, "also run the extension experiments (E1 timing, E2 paging, E3 prefetch, E4 hierarchy, E5 extended suite)")
+	checkMode := flag.String("check", "off", "pipeline verification mode: off, warn, or strict")
 	common := cliutil.AddFlags(flag.CommandLine)
 	flag.Parse()
+	mode, err := check.ParseMode(*checkMode)
+	if err != nil {
+		fatal(err)
+	}
 	if err := common.Start("icexp"); err != nil {
 		fatal(err)
 	}
@@ -45,8 +53,9 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "preparing benchmark suite (scale %.2f)...\n", *scale)
 	suite, err := experiments.PrepareWith(*scale, experiments.Options{
-		Obs: common.Registry,
-		Log: slog.Default(),
+		Obs:   common.Registry,
+		Log:   slog.Default(),
+		Check: mode,
 		Progress: func(p experiments.Progress) {
 			fmt.Fprintf(os.Stderr, "  [%2d/%d] %-10s prepared in %v\n",
 				p.Done, p.Total, p.Benchmark, p.Elapsed.Round(time.Millisecond))

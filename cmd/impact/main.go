@@ -20,6 +20,11 @@
 //	    End to end: place, trace, and simulate one benchmark,
 //	    comparing the optimized layout against the natural baseline.
 //
+//	impact check -bench <name> [-all] [-scale 1.0] [-strategy ...]
+//	    Run the pipeline with the internal/check verifier enabled and
+//	    report every diagnostic; non-zero exit on invariant
+//	    violations (see docs/VERIFICATION.md).
+//
 //	impact dump -bench <name> [-o <file>] [-inlined]
 //	    Write the benchmark program in the textual IR format
 //	    (optionally after inline expansion).
@@ -42,6 +47,7 @@ import (
 
 	"impact/internal/cache"
 	"impact/internal/cache/sweep"
+	"impact/internal/check"
 	"impact/internal/cliutil"
 	"impact/internal/core"
 	"impact/internal/interp"
@@ -69,6 +75,8 @@ func main() {
 		cmdTrace(os.Args[2:])
 	case "simulate":
 		cmdSimulate(os.Args[2:])
+	case "check":
+		cmdCheck(os.Args[2:])
 	case "dump":
 		cmdDump(os.Args[2:])
 	case "run":
@@ -79,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: impact {list|profile|layout|trace|simulate|dump|run} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: impact {list|profile|layout|trace|simulate|check|dump|run} [flags]")
 	os.Exit(2)
 }
 
@@ -365,6 +373,58 @@ func cmdSimulate(args []string) {
 	t.Row("optimized", texttable.Pct3(so.MissRatio()), texttable.Pct(so.TrafficRatio()), so.Misses, so.Accesses)
 	t.Row("natural", texttable.Pct3(sn.MissRatio()), texttable.Pct(sn.TrafficRatio()), sn.Misses, sn.Accesses)
 	fmt.Print(t.String())
+}
+
+// cmdCheck runs the placement pipeline with the internal/check
+// verifier enabled and reports every diagnostic. The exit status is
+// non-zero when any benchmark produces an error-severity diagnostic.
+func cmdCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	name, scale := benchFlag(fs)
+	strategy := fs.String("strategy", "full", "placement strategy")
+	all := fs.Bool("all", false, "check every benchmark in the suite")
+	common := startCommon(fs, args)
+	defer common.MustClose()
+
+	st, err := strategyByName(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	var benches []*workload.Benchmark
+	if *all {
+		benches = workload.Suite(*scale)
+	} else {
+		benches = []*workload.Benchmark{mustBench(*name, *scale)}
+	}
+
+	failed := false
+	t := texttable.New(fmt.Sprintf("Pipeline verification (strategy %s)", *strategy),
+		"benchmark", "analyzer runs", "errors", "warnings")
+	for _, b := range benches {
+		cfg := core.DefaultConfig(b.ProfileSeeds...)
+		cfg.Interp = b.InterpConfig()
+		cfg.Strategy = st
+		cfg.Obs = common.Registry
+		// Warn mode collects everything; strictness is applied here so
+		// one broken benchmark does not hide diagnostics of the rest.
+		cfg.Check = check.Warn
+		res, err := core.Optimize(b.Prog, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep := res.Checks
+		t.Row(b.Name(), rep.Runs, rep.Errors(), rep.Warnings())
+		if len(rep.Diags) > 0 {
+			fmt.Printf("%s:\n%s", b.Name(), rep)
+		}
+		if rep.Errors() > 0 {
+			failed = true
+		}
+	}
+	fmt.Print(t.String())
+	if failed {
+		os.Exit(1)
+	}
 }
 
 func cmdDump(args []string) {

@@ -1,0 +1,105 @@
+package check_test
+
+import (
+	"testing"
+
+	"impact/internal/check"
+	"impact/internal/ir"
+)
+
+// buildDiamondLoop constructs one function:
+//
+//	entry -> {left, right} -> join -> {entry(loop), exit(ret)}
+//
+// with the right arm carrying probability zero, plus one block only
+// reachable through it.
+func buildDiamondLoop(t *testing.T) *ir.Function {
+	t.Helper()
+	pb := ir.NewProgramBuilder()
+	fb := pb.NewFunc("f")
+	entry := fb.NewBlock()
+	left := fb.NewBlock()
+	right := fb.NewBlock()
+	join := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.Fill(entry, 1)
+	fb.Branch(entry, ir.Arc{To: left, Prob: 1}, ir.Arc{To: right, Prob: 0})
+	fb.Fill(left, 1)
+	fb.Jump(left, join)
+	fb.Fill(right, 1)
+	fb.Jump(right, join)
+	fb.Fill(join, 1)
+	fb.Branch(join, ir.Arc{To: entry, Prob: 0.5}, ir.Arc{To: exit, Prob: 0.5})
+	fb.Ret(exit)
+	return pb.Build().Funcs[0]
+}
+
+func TestReachable(t *testing.T) {
+	f := buildDiamondLoop(t)
+	reach := check.Reachable(f)
+	for b, ok := range reach {
+		if !ok {
+			t.Errorf("block %d statically unreachable", b)
+		}
+	}
+	prob := check.ProbReachable(f)
+	if prob[2] {
+		t.Error("right arm is probability-reachable despite its zero-probability arc")
+	}
+	for _, b := range []ir.BlockID{0, 1, 3, 4} {
+		if !prob[b] {
+			t.Errorf("block %d should be probability-reachable", b)
+		}
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f := buildDiamondLoop(t)
+	idom := check.Dominators(f)
+	want := map[ir.BlockID]ir.BlockID{
+		0: 0, // entry dominates itself
+		1: 0, // left's idom is entry
+		2: 0, // right's idom is entry
+		3: 0, // join's idom is entry (two disjoint paths)
+		4: 3, // exit's idom is join
+	}
+	for b, w := range want {
+		if idom[b] != w {
+			t.Errorf("idom[%d] = %d, want %d", b, idom[b], w)
+		}
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	pb := ir.NewProgramBuilder()
+	fb := pb.NewFunc("f")
+	entry := fb.NewBlock()
+	orphan := fb.NewBlock()
+	fb.Fill(entry, 1)
+	fb.Ret(entry)
+	fb.Fill(orphan, 1)
+	fb.Ret(orphan)
+	f := pb.Build().Funcs[0]
+
+	if idom := check.Dominators(f); idom[orphan] != ir.NoBlock {
+		t.Errorf("idom[orphan] = %d, want NoBlock", idom[orphan])
+	}
+	if reach := check.Reachable(f); reach[orphan] {
+		t.Error("orphan block reported reachable")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, s := range []string{"off", "warn", "strict"} {
+		m, err := check.ParseMode(s)
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", s, err)
+		}
+		if m.String() != s {
+			t.Fatalf("ParseMode(%q).String() = %q", s, m.String())
+		}
+	}
+	if _, err := check.ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode accepted a bogus mode")
+	}
+}

@@ -1,0 +1,394 @@
+package check_test
+
+import (
+	"maps"
+	"slices"
+	"sync"
+	"testing"
+
+	"impact/internal/check"
+	"impact/internal/core"
+	"impact/internal/core/funclayout"
+	"impact/internal/core/globallayout"
+	"impact/internal/core/inline"
+	"impact/internal/core/traceselect"
+	"impact/internal/ir"
+	"impact/internal/profile"
+)
+
+// The mutation kinds seeded into FuzzMutations. Together they cover
+// every analyzer: each kind breaks exactly one pipeline invariant in a
+// way ir.Validate cannot see (or, for program mutations, may not see),
+// and the fuzz target asserts internal/check flags it.
+const (
+	mutBlockWeight    = iota // weightflow: perturb a block weight
+	mutArcWeight             // weightflow: perturb an arc weight
+	mutSiteWeight            // weightflow: perturb a call-site weight
+	mutEntries               // weightflow: perturb a function's entries
+	mutDropArc               // weightflow: drop an arc from a 3-way branch
+	mutSwapTerminator        // cfg: multi-way block no longer ends in a branch
+	mutPairWeight            // weightflow: perturb a call-graph pair weight
+	mutDupArc                // cfg/weightflow: add a zero-probability duplicate arc
+	mutTraceMaps             // traces: corrupt the block-to-trace position map
+	mutSwapOrder             // funclayout/globallayout: swap first and last placed blocks
+	mutDupGlobal             // globallayout: duplicate a global-order entry
+	mutInlineCount           // inline: report claims one more inlined site
+	mutEffectiveBytes        // globallayout: grow the effective-region boundary
+	mutUnreachBlock          // reach: redirect the only arc into a block
+	numMutations
+)
+
+// expectedAnalyzers maps each mutation kind to the analyzers allowed
+// to flag it; at least one of them must.
+var expectedAnalyzers = map[uint8][]string{
+	mutBlockWeight:    {"weightflow"},
+	mutArcWeight:      {"weightflow"},
+	mutSiteWeight:     {"weightflow"},
+	mutEntries:        {"weightflow"},
+	mutDropArc:        {"weightflow"},
+	mutSwapTerminator: {"cfg"},
+	mutPairWeight:     {"weightflow"},
+	mutDupArc:         {"cfg", "weightflow"},
+	mutTraceMaps:      {"traces"},
+	mutSwapOrder:      {"funclayout", "globallayout"},
+	mutDupGlobal:      {"globallayout"},
+	mutInlineCount:    {"inline"},
+	mutEffectiveBytes: {"globallayout"},
+	mutUnreachBlock:   {"reach"},
+}
+
+// fuzzBaseline is the shared healthy pipeline run the mutations start
+// from. It is immutable after construction; every fuzz iteration
+// mutates deep copies.
+type fuzzBaseline struct {
+	prog *ir.Program // input program
+	res  *core.Result
+	once sync.Once
+	err  error
+}
+
+var baseline fuzzBaseline
+
+// buildFuzzProgram constructs a small program exercising every
+// pipeline feature the analyzers check: a 3-way branch, a hot loop
+// with an inlinable call, a single-predecessor block, and a
+// never-executed function (so the cold split has a non-empty
+// non-executed region).
+func buildFuzzProgram() *ir.Program {
+	pb := ir.NewProgramBuilder()
+
+	leaf := pb.NewFunc("leaf")
+	lb := leaf.NewBlock()
+	leaf.Fill(lb, 3)
+	leaf.Ret(lb)
+
+	cold := pb.NewFunc("cold")
+	cb := cold.NewBlock()
+	cold.Fill(cb, 4)
+	cold.Ret(cb)
+
+	// A NoInline callee keeps at least one call site (and so Sites and
+	// Pairs entries) alive through inline expansion, which the
+	// call-weight mutations need.
+	sys := pb.NewFunc("sys")
+	sb := sys.NewBlock()
+	sys.Fill(sb, 2)
+	sys.Ret(sb)
+	pb.Peek().Funcs[sys.ID()].NoInline = true
+
+	main := pb.NewFunc("main")
+	entry := main.NewBlock()
+	s1 := main.NewBlock()
+	s2 := main.NewBlock()
+	s3 := main.NewBlock()
+	loop := main.NewBlock()
+	exit := main.NewBlock()
+	main.Fill(entry, 2)
+	main.Branch(entry,
+		ir.Arc{To: s1, Prob: 0.5}, ir.Arc{To: s2, Prob: 0.3}, ir.Arc{To: s3, Prob: 0.2})
+	for _, s := range []ir.BlockID{s1, s2, s3} {
+		main.Fill(s, 2)
+		main.Jump(s, loop)
+	}
+	main.Fill(loop, 1)
+	main.Call(loop, leaf.ID())
+	main.Call(loop, sys.ID())
+	main.Branch(loop, ir.Arc{To: loop, Prob: 0.85}, ir.Arc{To: exit, Prob: 0.15})
+	main.Fill(exit, 1)
+	main.Ret(exit)
+	pb.SetEntry(main.ID())
+	return pb.Build()
+}
+
+func (b *fuzzBaseline) get(t testing.TB) (*ir.Program, *core.Result) {
+	b.once.Do(func() {
+		b.prog = buildFuzzProgram()
+		cfg := core.DefaultConfig(1, 2, 3, 4)
+		b.res, b.err = core.Optimize(b.prog, cfg)
+		if b.err == nil && b.res.InlineReport.SitesInlined == 0 {
+			// The inline mutation would be vacuous otherwise.
+			b.err = errBaselineNoInline
+		}
+	})
+	if b.err != nil {
+		t.Fatalf("building fuzz baseline: %v", b.err)
+	}
+	return b.prog, b.res
+}
+
+var errBaselineNoInline = errNoInline{}
+
+type errNoInline struct{}
+
+func (errNoInline) Error() string { return "baseline inlined no sites" }
+
+func cloneWeights(w *profile.Weights) *profile.Weights {
+	nw := &profile.Weights{
+		Funcs:       make([]profile.FuncWeights, len(w.Funcs)),
+		Pairs:       maps.Clone(w.Pairs),
+		Sites:       maps.Clone(w.Sites),
+		DynInstrs:   w.DynInstrs,
+		DynBranches: w.DynBranches,
+		DynCalls:    w.DynCalls,
+		DynReturns:  w.DynReturns,
+		Runs:        w.Runs,
+		Capped:      w.Capped,
+	}
+	for i, fw := range w.Funcs {
+		nw.Funcs[i] = profile.FuncWeights{
+			Entries: fw.Entries,
+			BlockW:  slices.Clone(fw.BlockW),
+			ArcW:    make([][]uint64, len(fw.ArcW)),
+		}
+		for j := range fw.ArcW {
+			nw.Funcs[i].ArcW[j] = slices.Clone(fw.ArcW[j])
+		}
+	}
+	return nw
+}
+
+func cloneTraces(ts []traceselect.Result) []traceselect.Result {
+	out := make([]traceselect.Result, len(ts))
+	for i, r := range ts {
+		nr := traceselect.Result{
+			TraceOf: slices.Clone(r.TraceOf),
+			PosOf:   slices.Clone(r.PosOf),
+			Traces:  make([]traceselect.Trace, len(r.Traces)),
+		}
+		for j, tr := range r.Traces {
+			nr.Traces[j] = traceselect.Trace{ID: tr.ID, Blocks: slices.Clone(tr.Blocks), Weight: tr.Weight}
+		}
+		out[i] = nr
+	}
+	return out
+}
+
+func cloneOrders(os []funclayout.Order) []funclayout.Order {
+	out := make([]funclayout.Order, len(os))
+	for i, o := range os {
+		out[i] = funclayout.Order{Blocks: slices.Clone(o.Blocks), EffectiveBlocks: o.EffectiveBlocks}
+	}
+	return out
+}
+
+// FuzzMutations mutates one healthy pipeline snapshot per iteration —
+// drop an arc, swap a terminator, perturb a weight, corrupt a mapping
+// — and asserts internal/check flags every mutation that ir.Validate
+// misses. The seed corpus covers all mutation kinds, so each analyzer
+// demonstrably catches at least one seeded violation under plain
+// `go test`.
+func FuzzMutations(f *testing.F) {
+	for kind := uint8(0); kind < numMutations; kind++ {
+		f.Add(kind, uint64(1))
+		f.Add(kind, uint64(97))
+	}
+	f.Fuzz(func(t *testing.T, kind uint8, raw uint64) {
+		kind %= numMutations
+		delta := raw%1_000_000 + 1
+		prog, res := baseline.get(t)
+
+		// Deep copies: mutations must not leak into the shared baseline.
+		mprog := ir.Clone(res.Prog)
+		w := cloneWeights(res.Weights)
+		origW := cloneWeights(res.OrigWeights)
+		traces := cloneTraces(res.Traces)
+		orders := cloneOrders(res.Orders)
+		global := globallayout.Order{Funcs: slices.Clone(res.GlobalOrder.Funcs)}
+		rep := res.InlineReport
+		rep.Expansions = slices.Clone(rep.Expansions)
+		effective := res.EffectiveBytes
+
+		if !applyMutation(t, kind, delta, mprog, w, traces, orders, &global, &rep, &effective) {
+			t.Skip("mutation not applicable to this snapshot")
+		}
+
+		// Mutations ir.Validate already rejects are out of scope: the
+		// verifier's job is the gap beyond it.
+		if err := ir.Validate(mprog); err != nil {
+			return
+		}
+
+		u := &check.Unit{
+			Stage:          "fuzz",
+			Prog:           mprog,
+			Weights:        w,
+			Before:         prog,
+			BeforeWeights:  origW,
+			Inline:         &rep,
+			Traces:         traces,
+			MinProb:        traceselect.DefaultMinProb,
+			Orders:         orders,
+			Global:         &global,
+			Layout:         res.Layout,
+			EffectiveBytes: effective,
+			TraceLayout:    true,
+			SplitCold:      true,
+		}
+		report := check.Run(u, check.All(), nil)
+		if report.Errors() == 0 {
+			t.Fatalf("mutation kind %d (delta %d) produced no error diagnostic; report:\n%s", kind, delta, report)
+		}
+		want := expectedAnalyzers[kind]
+		for _, d := range report.Diags {
+			if slices.Contains(want, d.Analyzer) {
+				return
+			}
+		}
+		t.Fatalf("mutation kind %d flagged, but not by any of %v:\n%s", kind, want, report)
+	})
+}
+
+// applyMutation performs one seeded corruption in place. It returns
+// false when the snapshot lacks the needed shape (never the case for
+// the built-in baseline, but arbitrary fuzz inputs stay safe).
+func applyMutation(t *testing.T, kind uint8, delta uint64,
+	prog *ir.Program, w *profile.Weights,
+	traces []traceselect.Result, orders []funclayout.Order,
+	global *globallayout.Order, rep *inline.Report, effective *int) bool {
+	t.Helper()
+	entry := prog.Entry
+	switch kind {
+	case mutBlockWeight:
+		w.Funcs[entry].BlockW[prog.Funcs[entry].Entry] += delta
+	case mutArcWeight:
+		for bi, arcs := range w.Funcs[entry].ArcW {
+			if len(arcs) > 0 && w.Funcs[entry].BlockW[bi] > 0 {
+				arcs[0] += delta
+				return true
+			}
+		}
+		return false
+	case mutSiteWeight:
+		for s := range w.Sites {
+			w.Sites[s] += delta
+			return true
+		}
+		return false
+	case mutEntries:
+		w.Funcs[entry].Entries += delta
+	case mutDropArc:
+		for _, f := range prog.Funcs {
+			for _, b := range f.Blocks {
+				if len(b.Out) >= 3 {
+					spread := b.Out[len(b.Out)-1].Prob / float64(len(b.Out)-1)
+					b.Out = b.Out[:len(b.Out)-1]
+					for k := range b.Out {
+						b.Out[k].Prob += spread
+					}
+					return true
+				}
+			}
+		}
+		return false
+	case mutSwapTerminator:
+		for _, f := range prog.Funcs {
+			for _, b := range f.Blocks {
+				if len(b.Out) >= 2 {
+					b.Instrs[len(b.Instrs)-1].Op = ir.OpALU
+					return true
+				}
+			}
+		}
+		return false
+	case mutPairWeight:
+		for p := range w.Pairs {
+			w.Pairs[p] += delta
+			return true
+		}
+		return false
+	case mutDupArc:
+		for _, f := range prog.Funcs {
+			for _, b := range f.Blocks {
+				if len(b.Out) >= 2 {
+					b.Out = append(b.Out, ir.Arc{To: b.Out[0].To, Prob: 0})
+					return true
+				}
+			}
+		}
+		return false
+	case mutTraceMaps:
+		for fi := range traces {
+			if len(traces[fi].PosOf) > 0 && w.Funcs[fi].Entries > 0 {
+				traces[fi].PosOf[0]++
+				return true
+			}
+		}
+		return false
+	case mutSwapOrder:
+		o := &orders[entry]
+		if len(o.Blocks) < 2 {
+			return false
+		}
+		last := len(o.Blocks) - 1
+		o.Blocks[0], o.Blocks[last] = o.Blocks[last], o.Blocks[0]
+	case mutDupGlobal:
+		if len(global.Funcs) < 2 {
+			return false
+		}
+		global.Funcs[0] = global.Funcs[1]
+	case mutInlineCount:
+		rep.SitesInlined++
+	case mutEffectiveBytes:
+		*effective += ir.InstrBytes
+	case mutUnreachBlock:
+		// Redirect the only arc into some block b to another target of
+		// the same source, making b unreachable while keeping the
+		// probability mass and exit reachability intact.
+		preds := make(map[ir.BlockID][]ir.BlockID)
+		for _, f := range prog.Funcs {
+			clear(preds)
+			for _, b := range f.Blocks {
+				for _, a := range b.Out {
+					preds[a.To] = append(preds[a.To], b.ID)
+				}
+			}
+			for _, b := range f.Blocks {
+				if b.ID == f.Entry || len(preds[b.ID]) != 1 {
+					continue
+				}
+				src := f.Blocks[preds[b.ID][0]]
+				if len(src.Out) < 2 {
+					continue
+				}
+				var other ir.BlockID = ir.NoBlock
+				for _, a := range src.Out {
+					if a.To != b.ID {
+						other = a.To
+						break
+					}
+				}
+				if other == ir.NoBlock {
+					continue
+				}
+				for k := range src.Out {
+					if src.Out[k].To == b.ID {
+						src.Out[k].To = other
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+package check_test
+
+import (
+	"testing"
+
+	"impact/internal/check"
+	"impact/internal/core"
+	"impact/internal/workload"
+)
+
+// TestStrictSuite runs the full pipeline over every suite benchmark in
+// strict verification mode and demands a completely clean report — not
+// merely no errors, but zero diagnostics of any severity at every
+// stage. This is the acceptance bar for the verifier: on healthy
+// pipelines every analyzer runs and stays silent.
+func TestStrictSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite strict verification is slow")
+	}
+	for _, b := range workload.Suite(0.05) {
+		b := b
+		t.Run(b.Params.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := core.DefaultConfig(b.ProfileSeeds...)
+			cfg.Interp = b.InterpConfig()
+			cfg.Check = check.Strict
+			res, err := core.Optimize(b.Prog, cfg)
+			if err != nil {
+				t.Fatalf("strict pipeline failed: %v", err)
+			}
+			if res.Checks == nil || res.Checks.Runs == 0 {
+				t.Fatal("strict mode ran no analyzers")
+			}
+			if len(res.Checks.Diags) != 0 {
+				t.Fatalf("diagnostics on a clean pipeline:\n%s", res.Checks)
+			}
+		})
+	}
+}
+
+// TestStrictStrategies verifies the ablation strategies also come out
+// clean: the verifier must understand the natural fallbacks (no trace
+// layout, no cold split, no global DFS), not just the full pipeline.
+func TestStrictStrategies(t *testing.T) {
+	strategies := map[string]core.Strategy{
+		"natural":    core.NaturalStrategy(),
+		"no-inline":  {TraceLayout: true, GlobalDFS: true, SplitCold: true},
+		"trace-only": {TraceLayout: true},
+		"no-split":   {Inline: true, TraceLayout: true, GlobalDFS: true},
+		"ph":         {Inline: true, TraceLayout: true, GlobalDFS: true, PettisHansen: true, SplitCold: true},
+	}
+	b := workload.ByName("wc", 0.05)
+	for name, st := range strategies {
+		cfg := core.DefaultConfig(b.ProfileSeeds...)
+		cfg.Interp = b.InterpConfig()
+		cfg.Strategy = st
+		cfg.Check = check.Strict
+		res, err := core.Optimize(b.Prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: strict pipeline failed: %v", name, err)
+		}
+		if len(res.Checks.Diags) != 0 {
+			t.Fatalf("%s: diagnostics on a clean pipeline:\n%s", name, res.Checks)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 
+	"impact/internal/check"
 	"impact/internal/core/funclayout"
 	"impact/internal/core/globallayout"
 	"impact/internal/core/inline"
@@ -72,6 +73,10 @@ type Config struct {
 	MinProb float64
 	// Strategy selects the steps; DefaultConfig uses FullStrategy.
 	Strategy Strategy
+	// Check selects pipeline verification (internal/check): Off skips
+	// it, Warn collects diagnostics into Result.Checks, Strict
+	// additionally fails the run on any error-severity diagnostic.
+	Check check.Mode
 	// Obs, when non-nil, receives per-stage spans (pipeline/profile,
 	// pipeline/inline, pipeline/traceselect, pipeline/funclayout,
 	// pipeline/globallayout, pipeline/compose) and work counters; nil
@@ -117,6 +122,10 @@ type Result struct {
 	EffectiveBytes int
 	// TotalBytes is Prog's full static size.
 	TotalBytes int
+
+	// Checks holds the verifier's diagnostics (nil when Config.Check
+	// is Off).
+	Checks *check.Report
 }
 
 // Optimize runs the configured pipeline steps on p.
@@ -136,12 +145,38 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 	defer pipe.End()
 	cfg.Obs.Counter("pipeline.runs").Inc()
 
+	// Pipeline verification (internal/check): each stage hands the
+	// verifier a Unit snapshot; in Strict mode an error-severity
+	// diagnostic aborts the run.
+	var checks *check.Report
+	if cfg.Check != check.Off {
+		checks = &check.Report{}
+	}
+	verify := func(u *check.Unit) error {
+		if cfg.Check == check.Off {
+			return nil
+		}
+		vs := pipe.Span("check")
+		rep := check.Run(u, check.ForStage(u.Stage), cfg.Obs)
+		vs.End()
+		checks.Merge(rep)
+		if cfg.Check == check.Strict {
+			if err := rep.Err(); err != nil {
+				return fmt.Errorf("core: %s stage failed verification: %w", u.Stage, err)
+			}
+		}
+		return nil
+	}
+
 	// Step 1: execution profiling.
 	sp := pipe.Span("profile")
 	origW, _, err := profile.Profile(p, profCfg)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling input program: %w", err)
+	}
+	if err := verify(&check.Unit{Stage: check.StageInput, Prog: p, Weights: origW}); err != nil {
+		return nil, err
 	}
 
 	// Step 2: function inline expansion.
@@ -164,6 +199,12 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: re-profiling inlined program: %w", err)
 		}
 		cfg.Obs.Counter("pipeline.inline.sites_inlined").Add(uint64(inlineRep.SitesInlined))
+		if err := verify(&check.Unit{
+			Stage: check.StageInline, Prog: prog, Weights: w,
+			Before: p, BeforeWeights: origW, Inline: &inlineRep,
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	res := &Result{
@@ -172,6 +213,7 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 		OrigWeights:  origW,
 		InlineReport: inlineRep,
 		TotalBytes:   prog.Bytes(),
+		Checks:       checks,
 	}
 
 	// Step 3: trace selection. (Step 4 consumes only its own
@@ -188,12 +230,19 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 			res.Traces[f.ID] = sel
 			res.TraceStats.Add(traceselect.ComputeStats(f, fw, &sel))
 		} else {
-			res.Traces[f.ID] = naturalTraces(f)
+			res.Traces[f.ID] = naturalTraces(f, fw)
 		}
 		tracesFormed += len(res.Traces[f.ID].Traces)
 	}
 	sp.End()
 	cfg.Obs.Counter("pipeline.traceselect.traces").Add(uint64(tracesFormed))
+	if err := verify(&check.Unit{
+		Stage: check.StageTrace, Prog: prog, Weights: w,
+		Traces: res.Traces, MinProb: cfg.MinProb,
+		TraceLayout: cfg.Strategy.TraceLayout,
+	}); err != nil {
+		return nil, err
+	}
 
 	// Step 4: function body layout.
 	sp = pipe.Span("funclayout")
@@ -270,12 +319,21 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: composing layout: %w", err)
 	}
 	cfg.Obs.Counter("pipeline.compose.blocks_placed").Add(uint64(len(pl.Order)))
+	if err := verify(&check.Unit{
+		Stage: check.StageLayout, Prog: prog, Weights: w,
+		Traces: res.Traces, MinProb: cfg.MinProb,
+		Orders: res.Orders, Global: &res.GlobalOrder,
+		Layout: res.Layout, EffectiveBytes: res.EffectiveBytes,
+		TraceLayout: cfg.Strategy.TraceLayout, SplitCold: cfg.Strategy.SplitCold,
+	}); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // naturalTraces puts every block in its own trace (used when trace
 // layout is disabled, so Table 4 style stats remain computable).
-func naturalTraces(f *ir.Function) traceselect.Result {
+func naturalTraces(f *ir.Function, fw *profile.FuncWeights) traceselect.Result {
 	res := traceselect.Result{
 		TraceOf: make([]int, len(f.Blocks)),
 		PosOf:   make([]int, len(f.Blocks)),
@@ -285,6 +343,7 @@ func naturalTraces(f *ir.Function) traceselect.Result {
 		res.Traces = append(res.Traces, traceselect.Trace{
 			ID:     int(b.ID),
 			Blocks: []ir.BlockID{b.ID},
+			Weight: fw.BlockW[b.ID],
 		})
 	}
 	return res

@@ -31,6 +31,22 @@ type Order struct {
 	EffectiveBlocks int
 }
 
+// Positions inverts the order for a function with n blocks: the result
+// maps BlockID to its slot in Blocks, with -1 for blocks the order
+// never places (a malformed order; see internal/check).
+func (o Order) Positions(n int) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, b := range o.Blocks {
+		if int(b) < n {
+			pos[b] = i
+		}
+	}
+	return pos
+}
+
 // EffectiveBytes returns the code size of the effective part.
 func (o Order) EffectiveBytes(f *ir.Function) int {
 	total := 0
@@ -56,7 +72,7 @@ func Layout(f *ir.Function, w *profile.FuncWeights, sel *traceselect.Result) Ord
 	}
 	tailConns := make([][]conn, n)
 	for ti, tr := range sel.Traces {
-		tail := tr.Blocks[len(tr.Blocks)-1]
+		tail := tr.Tail()
 		for k, a := range f.Blocks[tail].Out {
 			c := w.ArcW[tail][k]
 			if c == 0 {

@@ -24,6 +24,22 @@ type Order struct {
 	Funcs []ir.FuncID
 }
 
+// Positions inverts the order for a program with n functions: the
+// result maps FuncID to its rank in Funcs, with -1 for functions the
+// order never places (a malformed order; see internal/check).
+func (o Order) Positions(n int) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, f := range o.Funcs {
+		if int(f) < n {
+			pos[f] = i
+		}
+	}
+	return pos
+}
+
 // Layout computes the weighted depth-first function order of program p
 // using the measured call-graph weights in w.
 func Layout(p *ir.Program, w *profile.Weights) Order {

@@ -49,6 +49,25 @@ func DefaultConfig() Config {
 	}
 }
 
+// Expansion records one inlined call site: which site was replaced by
+// which callee's body, and where the cloned blocks landed in the
+// caller. internal/check replays these records to prove the pass only
+// moved code.
+type Expansion struct {
+	// Site is the call site that was expanded, in the coordinates of
+	// the evolving program at the moment of expansion.
+	Site ir.CallSite
+	// Callee is the function whose body was spliced in.
+	Callee ir.FuncID
+	// CloneBase is the ID of the first cloned callee block in the
+	// caller; the clones occupy [CloneBase, CloneBase+CloneBlocks).
+	CloneBase ir.BlockID
+	// CloneBlocks is the number of callee blocks cloned.
+	CloneBlocks int
+	// Tail is the block holding the rest of the split call block.
+	Tail ir.BlockID
+}
+
 // Report summarises what the pass did (inputs to Table 3).
 type Report struct {
 	BytesBefore  int
@@ -58,6 +77,8 @@ type Report struct {
 	// program; dynamic calls after inlining are measured by
 	// re-profiling (see internal/core).
 	CallsBefore uint64
+	// Expansions records every inlined site in expansion order.
+	Expansions []Expansion
 }
 
 // CodeIncrease returns the static code growth fraction ("code inc").
@@ -134,8 +155,17 @@ func Expand(p *ir.Program, w *profile.Weights, cfg Config) (*ir.Program, Report,
 			continue
 		}
 
+		calleeBlocks := len(calleeFn.Blocks)
+		base := ir.BlockID(len(np.Funcs[caller].Blocks))
 		expandSite(np, best, sites, entries)
 		rep.SitesInlined++
+		rep.Expansions = append(rep.Expansions, Expansion{
+			Site:        best,
+			Callee:      callee,
+			CloneBase:   base,
+			CloneBlocks: calleeBlocks,
+			Tail:        base + ir.BlockID(calleeBlocks),
+		})
 	}
 
 	rep.BytesAfter = np.Bytes()

@@ -33,6 +33,12 @@ type Trace struct {
 	Weight uint64
 }
 
+// Head returns the trace's first block.
+func (t *Trace) Head() ir.BlockID { return t.Blocks[0] }
+
+// Tail returns the trace's last block.
+func (t *Trace) Tail() ir.BlockID { return t.Blocks[len(t.Blocks)-1] }
+
 // Result is a partition of one function's blocks into traces.
 type Result struct {
 	Traces []Trace

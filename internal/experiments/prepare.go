@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"impact/internal/check"
 	"impact/internal/core"
 	"impact/internal/interp"
 	"impact/internal/layout"
@@ -128,6 +129,9 @@ type Options struct {
 	// preparing. Called from worker goroutines, serialised by an
 	// internal lock.
 	Progress func(Progress)
+	// Check selects pipeline verification (internal/check) for every
+	// pipeline run; the zero value is check.Off.
+	Check check.Mode
 }
 
 func (o Options) logger() *slog.Logger {
@@ -225,9 +229,15 @@ func prepareOne(b *workload.Benchmark, opts Options) (*Prepared, error) {
 	cfg := core.DefaultConfig(b.ProfileSeeds...)
 	cfg.Interp = b.InterpConfig()
 	cfg.Obs = opts.Obs
+	cfg.Check = opts.Check
 	res, err := core.Optimize(b.Prog, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if res.Checks != nil && len(res.Checks.Diags) > 0 {
+		opts.logger().Warn("pipeline verification diagnostics",
+			"benchmark", b.Name(),
+			"errors", res.Checks.Errors(), "warnings", res.Checks.Warnings())
 	}
 	sp := opts.Obs.Span("evaltrace")
 	tStart := time.Now()

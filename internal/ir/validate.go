@@ -102,10 +102,19 @@ func validateBlock(p *Program, f *Function, b *Block) error {
 		if a.To < 0 || int(a.To) >= len(f.Blocks) {
 			return fmt.Errorf("arc %d: target %d out of range", k, a.To)
 		}
-		if a.Prob < 0 || math.IsNaN(a.Prob) {
+		// NaN and ±Inf are rejected explicitly: NaN fails every ordered
+		// comparison, so without these checks a NaN probability would
+		// also sneak the sum past the ≈1 test below.
+		if math.IsNaN(a.Prob) || math.IsInf(a.Prob, 0) {
+			return fmt.Errorf("arc %d: non-finite probability %v", k, a.Prob)
+		}
+		if a.Prob < 0 {
 			return fmt.Errorf("arc %d: bad probability %v", k, a.Prob)
 		}
 		total += a.Prob
+	}
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		return fmt.Errorf("arc probabilities sum to non-finite %v", total)
 	}
 	if math.Abs(total-1) > 1e-6 {
 		return fmt.Errorf("arc probabilities sum to %v, want 1", total)

@@ -1,0 +1,56 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+// The ≈1 probability-sum comparison is blind to NaN (every ordered
+// comparison on NaN is false), so non-finite probabilities must be
+// rejected per arc before the sum is tested. These tests pin that
+// hardening down.
+
+func TestValidateRejectsNaNProb(t *testing.T) {
+	p := buildDiamond(t)
+	p.Funcs[0].Blocks[0].Out[0].Prob = math.NaN()
+	wantErr(t, p, "non-finite")
+}
+
+func TestValidateRejectsNaNProbSum(t *testing.T) {
+	// Both arcs NaN: without per-arc rejection the sum would be NaN and
+	// math.Abs(NaN-1) > 1e-6 evaluates to false, accepting the block.
+	p := buildDiamond(t)
+	p.Funcs[0].Blocks[0].Out[0].Prob = math.NaN()
+	p.Funcs[0].Blocks[0].Out[1].Prob = math.NaN()
+	wantErr(t, p, "non-finite")
+}
+
+func TestValidateRejectsInfProb(t *testing.T) {
+	p := buildDiamond(t)
+	p.Funcs[0].Blocks[0].Out[0].Prob = math.Inf(1)
+	wantErr(t, p, "non-finite")
+}
+
+func TestValidateRejectsNegInfProb(t *testing.T) {
+	p := buildDiamond(t)
+	p.Funcs[0].Blocks[0].Out[0].Prob = math.Inf(-1)
+	wantErr(t, p, "non-finite")
+}
+
+func TestValidateRejectsNegativeProb(t *testing.T) {
+	p := buildDiamond(t)
+	p.Funcs[0].Blocks[0].Out[0].Prob = -0.2
+	p.Funcs[0].Blocks[0].Out[1].Prob = 1.2
+	wantErr(t, p, "bad probability")
+}
+
+func TestValidateAcceptsTinyRoundingError(t *testing.T) {
+	// The tolerance exists for float accumulation, not for real
+	// probability-mass bugs; a sum within 1e-6 of 1 stays legal.
+	p := buildDiamond(t)
+	p.Funcs[0].Blocks[0].Out[0].Prob = 0.7000000001
+	p.Funcs[0].Blocks[0].Out[1].Prob = 0.2999999999
+	if err := Validate(p); err != nil {
+		t.Fatalf("rounding-level deviation rejected: %v", err)
+	}
+}

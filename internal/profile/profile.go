@@ -55,6 +55,11 @@ type Weights struct {
 	DynCalls    uint64
 	DynReturns  uint64
 	Runs        int
+	// Capped counts runs that hit the interpreter step budget before
+	// completing. A capped run stops mid-block on every frame of its
+	// call stack, so exact flow-conservation invariants only hold when
+	// Capped == 0.
+	Capped int
 }
 
 // NewWeights returns zeroed weights shaped for program p.
@@ -224,6 +229,9 @@ func Profile(p *ir.Program, cfg Config) (*Weights, []interp.Result, error) {
 		w.DynBranches += res.Branches
 		w.DynCalls += res.Calls
 		w.DynReturns += res.Returns
+		if !res.Completed {
+			w.Capped++
+		}
 		results = append(results, res)
 	}
 	w.Runs = len(cfg.Seeds)

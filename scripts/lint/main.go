@@ -1,0 +1,152 @@
+// Command lint is the repository's stdlib-only source linter, run in
+// CI next to gofmt and go vet. It enforces two local conventions:
+//
+//   - fmt.Print/Printf/Println are forbidden outside cmd/, examples/,
+//     scripts/, and test files: library packages report through
+//     internal/obs and log/slog, never by writing to stdout.
+//   - every exported function, method, and type in internal/check must
+//     carry a doc comment: the verifier is the repo's specification of
+//     pipeline invariants, and an undocumented invariant is no
+//     specification at all.
+//
+// Usage: go run ./scripts/lint [root]  (root defaults to ".")
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		problems = append(problems, lintFile(root, rel)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// printAllowed reports whether fmt.Print* is acceptable in this file:
+// command mains, examples, scripts (including this one), and tests.
+func printAllowed(rel string) bool {
+	return strings.HasPrefix(rel, "cmd/") ||
+		strings.HasPrefix(rel, "examples/") ||
+		strings.HasPrefix(rel, "scripts/") ||
+		strings.HasSuffix(rel, "_test.go")
+}
+
+// docRequired reports whether exported declarations in this file must
+// have doc comments.
+func docRequired(rel string) bool {
+	return strings.HasPrefix(rel, "internal/check/") && !strings.HasSuffix(rel, "_test.go")
+}
+
+func lintFile(root, rel string) []string {
+	checkPrints := !printAllowed(rel)
+	checkDocs := docRequired(rel)
+	if !checkPrints && !checkDocs {
+		return nil
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filepath.Join(root, rel), nil, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: parse error: %v", rel, err)}
+	}
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", rel, p.Line, fmt.Sprintf(format, args...)))
+	}
+
+	if checkPrints {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "fmt" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Print", "Printf", "Println":
+				report(call.Pos(), "fmt.%s outside cmd/: library code must not write to stdout", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+
+	if checkDocs {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					report(d.Pos(), "exported %s %s has no doc comment", declKind(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					if d.Doc == nil && ts.Doc == nil {
+						report(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
