@@ -24,7 +24,10 @@ import (
 	"sync"
 	"testing"
 
+	"impact/internal/analysis"
+	"impact/internal/cache"
 	"impact/internal/experiments"
+	"impact/internal/profile"
 )
 
 var (
@@ -475,4 +478,61 @@ func BenchmarkAblationGlobalAlgo(b *testing.B) {
 	n := float64(len(rows))
 	b.ReportMetric(d/n*100, "dfsMiss%")
 	b.ReportMetric(p/n*100, "phMiss%")
+}
+
+// BenchmarkAnalyzeStatic times the static must/may analyzer over every
+// benchmark's optimized layout at the paper's default geometry: the
+// cost of miss bounds computed from the IR, profile, and addresses
+// alone, with no trace decoded (see docs/ANALYSIS.md). Compare with
+// BenchmarkAnalyzeSimulate for the analyzer-vs-simulation wall time.
+func BenchmarkAnalyzeStatic(b *testing.B) {
+	s := benchSuite(b)
+	geom := cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1}
+	// The profile is the analyzer's input contract, not its cost.
+	weights := make([]*profile.Weights, len(s.Items))
+	for i, p := range s.Items {
+		w, err := p.EvalWeights()
+		if err != nil {
+			b.Fatal(err)
+		}
+		weights[i] = w
+	}
+	b.ResetTimer()
+	var lower, upper uint64
+	for i := 0; i < b.N; i++ {
+		lower, upper = 0, 0
+		for j, p := range s.Items {
+			res, err := analysis.Analyze(p.Opt.Layout, weights[j], analysis.Config{Cache: geom})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lower += res.Bounds.Lower
+			upper += res.Bounds.Upper
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lower)/1e6, "lowerM")
+	b.ReportMetric(float64(upper)/1e6, "upperM")
+}
+
+// BenchmarkAnalyzeSimulate times the trace-driven simulator on the
+// same layouts and geometry, bypassing the sweep engine's memo — the
+// measurement the static bounds bracket, priced for comparison.
+func BenchmarkAnalyzeSimulate(b *testing.B) {
+	s := benchSuite(b)
+	geom := cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1}
+	b.ResetTimer()
+	var misses uint64
+	for i := 0; i < b.N; i++ {
+		misses = 0
+		for _, p := range s.Items {
+			st, err := cache.Simulate(geom, p.OptTrace)
+			if err != nil {
+				b.Fatal(err)
+			}
+			misses += st.Misses
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(misses)/1e6, "missesM")
 }

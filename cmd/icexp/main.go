@@ -5,14 +5,18 @@
 // Usage:
 //
 //	icexp [-scale 1.0] [-tables 1,2,3,...] [-ablations] [-extensions]
-//	      [-check off|warn|strict] [-v] [-metrics-out m.json]
+//	      [-analyze] [-check off|warn|strict] [-v] [-metrics-out m.json]
 //	      [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // -scale multiplies the dynamic trace lengths (1.0 reproduces the
 // default experiment; smaller values give quick approximate runs).
 // -check enables the internal/check pipeline verifier during suite
 // preparation (see docs/VERIFICATION.md); strict mode fails on any
-// invariant violation. The observability flags are shared by all
+// invariant violation. -analyze runs the static cache-behavior
+// analyzer (see docs/ANALYSIS.md) over every benchmark and geometry
+// and prints its must/may miss bounds next to the simulator's
+// measurements; under -check strict a bound violated by a measured
+// miss count fails the run. The observability flags are shared by all
 // commands; see docs/OBSERVABILITY.md.
 package main
 
@@ -34,6 +38,7 @@ func main() {
 	tables := flag.String("tables", "1,2,3,4,5,6,7,8,9", "comma-separated table numbers to produce")
 	ablations := flag.Bool("ablations", false, "also run the ablation studies (A1-A3, A5, A6; A4 is bench-only)")
 	extensions := flag.Bool("extensions", false, "also run the extension experiments (E1 timing, E2 paging, E3 prefetch, E4 hierarchy, E5 extended suite)")
+	analyze := flag.Bool("analyze", false, "also run the static must/may analyzer and check its bounds against the simulator")
 	checkMode := flag.String("check", "off", "pipeline verification mode: off, warn, or strict")
 	common := cliutil.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -215,6 +220,20 @@ func main() {
 				return "", err
 			}
 			return experiments.RenderExtExtendedSuite(e), nil
+		})
+	}
+	if *analyze {
+		emit("analyze", func() (string, error) {
+			rows, err := experiments.BoundCheck(suite)
+			if err != nil {
+				return "", err
+			}
+			if mode == check.Strict {
+				if err := experiments.BoundErr(rows); err != nil {
+					return "", err
+				}
+			}
+			return experiments.RenderBoundCheck(suite, rows), nil
 		})
 	}
 	run := common.Registry.Counter("sweep.sims_run").Value()

@@ -29,8 +29,6 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
-	"strconv"
-	"strings"
 
 	"impact/internal/cache"
 	"impact/internal/cache/sweep"
@@ -41,12 +39,7 @@ import (
 
 func main() {
 	tracePath := flag.String("trace", "", "trace file (required)")
-	size := flag.Int("size", 2048, "cache size in bytes")
-	sizes := flag.String("sizes", "", "comma-separated cache sizes to sweep in one trace pass (overrides -size)")
-	block := flag.Int("block", 64, "block size in bytes")
-	assoc := flag.Int("assoc", 1, "associativity (0 = fully associative)")
-	sector := flag.Int("sector", 0, "sector size in bytes (0 = whole-block fill)")
-	partial := flag.Bool("partial", false, "partial loading (fill from miss word to block end)")
+	cf := cliutil.AddCacheFlags(flag.CommandLine)
 	replacement := flag.String("replacement", "lru", "replacement policy: lru, fifo, or random")
 	prefetch := flag.Bool("prefetch", false, "prefetch the next sequential block on every demand miss")
 	latency := flag.Int("latency", 0, "memory initial access latency in cycles (0 = timing model off)")
@@ -76,20 +69,18 @@ func main() {
 	}
 	slog.Debug("trace loaded", "file", *tracePath, "instrs", tr.Instrs, "runs", len(tr.Runs))
 
-	cfg := cache.Config{
-		SizeBytes:    *size,
-		BlockBytes:   *block,
-		Assoc:        *assoc,
-		SectorBytes:  *sector,
-		PartialLoad:  *partial,
-		Replacement:  repl,
-		PrefetchNext: *prefetch,
-	}
+	cfg := cf.Config()
+	cfg.Replacement = repl
+	cfg.PrefetchNext = *prefetch
 	if *latency > 0 {
 		cfg.Timing = &cache.TimingConfig{InitialLatency: *latency, CriticalWordFirst: *cwf}
 	}
-	if *sizes != "" {
-		sweepSizes(cfg, tr, *sizes, *tracePath)
+	sizeList, err := cf.SizeList()
+	if err != nil {
+		fatal(err)
+	}
+	if sizeList != nil {
+		sweepSizes(cfg, tr, sizeList, *tracePath)
 		common.MustClose()
 		return
 	}
@@ -103,7 +94,7 @@ func main() {
 	fmt.Printf("misses:   %d\n", stats.Misses)
 	fmt.Printf("miss:     %.4f%%\n", stats.MissRatio()*100)
 	fmt.Printf("traffic:  %.4f%%\n", stats.TrafficRatio()*100)
-	if *partial || *sector != 0 {
+	if cf.Partial || cf.Sector != 0 {
 		fmt.Printf("avg.fetch: %.1f words\n", stats.AvgFetchWords())
 	}
 	if stats.ExecRuns > 0 {
@@ -123,15 +114,7 @@ func main() {
 // sweepSizes runs the -sizes size sweep: every size is simulated from
 // a single pass over the trace (a stack pass for fully associative
 // whole-block organisations, a broadcast replay otherwise).
-func sweepSizes(template cache.Config, tr *memtrace.Trace, list, tracePath string) {
-	var sizeList []int
-	for _, f := range strings.Split(list, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			fatal(fmt.Errorf("bad -sizes entry %q: %w", f, err))
-		}
-		sizeList = append(sizeList, n)
-	}
+func sweepSizes(template cache.Config, tr *memtrace.Trace, sizeList []int, tracePath string) {
 	stats, err := sweep.SweepSizes(tr, template, sizeList)
 	if err != nil {
 		fatal(err)

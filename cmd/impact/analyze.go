@@ -1,0 +1,178 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"impact/internal/analysis"
+	"impact/internal/cache"
+	"impact/internal/cliutil"
+	"impact/internal/layout"
+	"impact/internal/profile"
+	"impact/internal/texttable"
+)
+
+// cmdAnalyze runs the static cache-behavior analyzer on a benchmark's
+// laid-out program: layout-quality score, hot set conflicts, and
+// must/may miss bounds — computed from the IR, the profile, and the
+// addresses alone, with no trace decoded. With -measure it
+// additionally simulates the evaluation trace and reports the
+// measured misses next to the bounds (which must bracket them).
+func cmdAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	name, scale := benchFlag(fs)
+	strategy := fs.String("strategy", "full", "placement strategy")
+	cf := cliutil.AddCacheFlags(fs)
+	topSets := fs.Int("top-sets", 8, "pressured cache sets to report")
+	topPairs := fs.Int("top-pairs", 8, "conflicting function pairs to report")
+	topFuncs := fs.Int("top-funcs", 10, "per-function bound rows to report")
+	measure := fs.Bool("measure", false, "also simulate the evaluation trace and verify the bracket")
+	common := startCommon(fs, args)
+	defer common.MustClose()
+	b := mustBench(*name, *scale)
+
+	res := optimize(b, *strategy, common.Registry)
+
+	// The weights come from the single evaluation run, so the bounds
+	// are guarantees for that run's trace — the same execution
+	// -measure simulates.
+	w, runs, err := profile.Profile(res.Prog, profile.Config{
+		Seeds:  []uint64{b.EvalSeed},
+		Interp: b.EvalConfig(),
+		Obs:    common.Registry,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	sizeList, err := cf.SizeList()
+	if err != nil {
+		fatal(err)
+	}
+	if sizeList == nil {
+		sizeList = []int{cf.Size}
+	}
+
+	fmt.Printf("benchmark %s, strategy %s: %d funcs, %s effective / %s total\n",
+		b.Name(), *strategy, len(res.Prog.Funcs),
+		texttable.KB(res.EffectiveBytes), texttable.KB(res.TotalBytes))
+
+	for i, size := range sizeList {
+		ccfg := cf.Config()
+		ccfg.SizeBytes = size
+		ares, err := analysis.Analyze(res.Layout, w, analysis.Config{
+			Cache:   ccfg,
+			TopSets: *topSets, TopPairs: *topPairs,
+			Obs: common.Registry,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if i == 0 {
+			// The layout score does not depend on the geometry.
+			fmt.Printf("layout score: fall-through %s of transfer weight, ext-TSP %.4f\n\n",
+				texttable.Pct(ares.Score.FallThroughRatio()), ares.Score.ExtTSP)
+		}
+		printAnalysis(b.Name(), ares)
+		if *measure {
+			tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
+			if err != nil {
+				fatal(err)
+			}
+			st, err := cache.Simulate(ccfg, tr)
+			if err != nil {
+				fatal(err)
+			}
+			verdict := "within bounds"
+			if st.Misses < ares.Bounds.Lower || st.Misses > ares.Bounds.Upper {
+				verdict = "OUTSIDE BOUNDS"
+			}
+			if !ares.Bounds.Exact || !runs[0].Completed {
+				verdict = "bounds inexact (capped run)"
+			}
+			fmt.Printf("measured: %d misses (%s) — %s\n\n",
+				st.Misses, texttable.Pct3(st.MissRatio()), verdict)
+		}
+	}
+
+	if len(sizeList) == 1 {
+		printFuncBounds(res.Layout, w, cf.Config(), *topFuncs)
+	}
+}
+
+// printAnalysis renders one geometry's analysis.
+func printAnalysis(name string, ares *analysis.Result) {
+	b := ares.Bounds
+	fmt.Printf("%s on %s: %d regions, %d fixpoint iterations\n", name, ares.Cache, ares.Regions, ares.Iterations)
+	ct := texttable.New("Reference classification",
+		"class", "static refs", "weighted", "share")
+	for _, c := range []analysis.Class{
+		analysis.ClassAlwaysHit, analysis.ClassFirstMiss,
+		analysis.ClassAlwaysMiss, analysis.ClassUnclassified,
+	} {
+		share := 0.0
+		if b.WeightedLineRefs > 0 {
+			share = float64(b.RefWeight[c]) / float64(b.WeightedLineRefs)
+		}
+		ct.Row(c.String(), b.Refs[c], b.RefWeight[c], texttable.Pct(share))
+	}
+	fmt.Print(ct.String())
+	fmt.Printf("miss bounds: [%d, %d] of %d fetches — ratio [%s, %s]",
+		b.Lower, b.Upper, b.Accesses,
+		texttable.Pct3(b.LowerRatio()), texttable.Pct3(b.UpperRatio()))
+	if !b.Exact {
+		fmt.Printf(" (inexact: aggregated over %d runs)", b.Runs)
+	}
+	fmt.Println()
+
+	if len(ares.Conflicts.Sets) > 0 {
+		st := texttable.New(fmt.Sprintf("Hot set conflicts (total excess %s)", texttable.Mega(ares.Conflicts.TotalExcess)),
+			"set", "weight", "excess", "hottest lines")
+		for _, s := range ares.Conflicts.Sets {
+			lines := ""
+			for i, l := range s.Lines {
+				if i > 0 {
+					lines += ", "
+				}
+				lines += fmt.Sprintf("0x%04x(%s)", l.Addr, l.FuncName)
+			}
+			st.Row(s.Set, s.Weight, s.Excess, lines)
+		}
+		fmt.Print(st.String())
+		if len(ares.Conflicts.Pairs) > 0 {
+			pt := texttable.New("Conflicting function pairs", "pair", "contended weight")
+			for _, pr := range ares.Conflicts.Pairs {
+				pt.Row(pr.AName+" / "+pr.BName, pr.Weight)
+			}
+			fmt.Print(pt.String())
+		}
+	} else {
+		fmt.Println("no overflowing cache sets (no predicted conflict misses)")
+	}
+	fmt.Println()
+}
+
+// printFuncBounds renders the hottest per-function bound rows.
+func printFuncBounds(lay *layout.Layout, w *profile.Weights, ccfg cache.Config, top int) {
+	ares, err := analysis.Analyze(lay, w, analysis.Config{Cache: ccfg})
+	if err != nil {
+		fatal(err)
+	}
+	rows := append([]analysis.FuncBounds(nil), ares.PerFunc...)
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].Upper > rows[i].Upper {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	t := texttable.New("Per-function miss bounds (hottest first)",
+		"function", "fetches", "lower", "upper")
+	for i, r := range rows {
+		if i >= top {
+			break
+		}
+		t.Row(r.Name, r.Accesses, r.Lower, r.Upper)
+	}
+	fmt.Print(t.String())
+}

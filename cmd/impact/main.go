@@ -20,6 +20,11 @@
 //	    End to end: place, trace, and simulate one benchmark,
 //	    comparing the optimized layout against the natural baseline.
 //
+//	impact analyze -bench <name> [-scale 1.0] [-strategy ...] [cache flags]
+//	    Statically analyze a layout without decoding any trace: layout
+//	    quality score, hot cache-set conflicts, and must/may miss
+//	    bounds (add -measure to also simulate and verify the bracket).
+//
 //	impact check -bench <name> [-all] [-scale 1.0] [-strategy ...]
 //	    Run the pipeline with the internal/check verifier enabled and
 //	    report every diagnostic; non-zero exit on invariant
@@ -75,6 +80,8 @@ func main() {
 		cmdTrace(os.Args[2:])
 	case "simulate":
 		cmdSimulate(os.Args[2:])
+	case "analyze":
+		cmdAnalyze(os.Args[2:])
 	case "check":
 		cmdCheck(os.Args[2:])
 	case "dump":
@@ -87,7 +94,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: impact {list|profile|layout|trace|simulate|check|dump|run} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: impact {list|profile|layout|trace|simulate|analyze|check|dump|run} [flags]")
 	os.Exit(2)
 }
 
@@ -303,20 +310,12 @@ func cmdTrace(args []string) {
 func cmdSimulate(args []string) {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	name, scale := benchFlag(fs)
-	size := fs.Int("size", 2048, "cache size in bytes")
-	sizes := fs.String("sizes", "", "comma-separated cache sizes to sweep in one trace pass per layout (overrides -size)")
-	block := fs.Int("block", 64, "block size in bytes")
-	assoc := fs.Int("assoc", 1, "associativity (0 = fully associative)")
-	sector := fs.Int("sector", 0, "sector bytes (0 = whole block)")
-	partial := fs.Bool("partial", false, "partial loading")
+	cf := cliutil.AddCacheFlags(fs)
 	common := startCommon(fs, args)
 	defer common.MustClose()
 	b := mustBench(*name, *scale)
 
-	cfg := cache.Config{
-		SizeBytes: *size, BlockBytes: *block, Assoc: *assoc,
-		SectorBytes: *sector, PartialLoad: *partial,
-	}
+	cfg := cf.Config()
 
 	res := optimize(b, "full", common.Registry)
 	optTr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
@@ -328,15 +327,11 @@ func cmdSimulate(args []string) {
 		fatal(err)
 	}
 
-	if *sizes != "" {
-		var sizeList []int
-		for _, f := range strings.Split(*sizes, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil {
-				fatal(fmt.Errorf("bad -sizes entry %q: %w", f, err))
-			}
-			sizeList = append(sizeList, n)
-		}
+	sizeList, err := cf.SizeList()
+	if err != nil {
+		fatal(err)
+	}
+	if sizeList != nil {
 		so, err := sweep.SweepSizes(optTr, cfg, sizeList)
 		if err != nil {
 			fatal(err)
@@ -463,9 +458,7 @@ func cmdRun(args []string) {
 	seedsArg := fs.String("seeds", "1,2,3,4", "comma-separated profiling seeds")
 	evalSeed := fs.Uint64("eval", 99, "evaluation input seed")
 	maxSteps := fs.Uint64("maxsteps", 50_000_000, "per-run instruction cap")
-	size := fs.Int("size", 2048, "cache size in bytes")
-	block := fs.Int("block", 64, "block size in bytes")
-	assoc := fs.Int("assoc", 1, "associativity (0 = fully associative)")
+	cf := cliutil.AddCacheFlags(fs)
 	common := startCommon(fs, args)
 	defer common.MustClose()
 	if *irPath == "" {
@@ -519,7 +512,7 @@ func cmdRun(args []string) {
 		fatal(err)
 	}
 
-	ccfg := cache.Config{SizeBytes: *size, BlockBytes: *block, Assoc: *assoc}
+	ccfg := cf.Config()
 	so, err := cache.Simulate(ccfg, optTr)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,455 @@
+package analysis
+
+import (
+	"impact/internal/cache"
+	"impact/internal/ir"
+	"impact/internal/profile"
+)
+
+// The abstract cache domain (after Ferdinand & Wilhelm's must/may
+// ageing caches, adapted to LRU set-associative geometries):
+//
+//   - The must state maps every cache line to an upper bound on its
+//     LRU age on every path reaching a point, or "absent". A line with
+//     must-age < assoc is guaranteed cached, so a reference to it is an
+//     always-hit. Join is elementwise max (a line survives the join
+//     only if present on all paths, at its oldest age).
+//   - The may state maps every line to a lower bound on its age on
+//     some path, or "absent". A line absent from may cannot be cached,
+//     so a reference to it is an always-miss. Join is elementwise min.
+//
+// On an access to line x in set s:
+//
+//   - must: with h = must-age(x) (assoc when absent), every line in s
+//     with must-age < h ages by one (evicting at the associativity);
+//     x moves to age 0. Lines at age >= h cannot be younger than x on
+//     any path, so their bound stands.
+//   - may: with m = may-age(x) (assoc when absent), every line in s
+//     with may-age < m ages by one; x moves to age 0. Ageing lines
+//     with may-age >= m would be unsound: on a path where x is older
+//     than its bound, those lines need not age.
+//
+// Ages are stored one byte per line; 0xFF means absent. For
+// associativities beyond 254 (large fully associative caches) the
+// must analysis evicts early at age 254 (shrinking the guaranteed
+// cache — sound) and the may analysis stops ageing at 254 and never
+// evicts (growing the possible cache — sound).
+
+const (
+	absentAge = 0xFF
+	maxAge    = 0xFE
+)
+
+// geom is a cache geometry resolved against a layout size.
+type geom struct {
+	blockBytes uint32
+	numSets    uint32
+	assoc      uint32
+	numLines   uint32
+	// mustEvict is the must-domain eviction age: min(assoc, maxAge).
+	mustEvict uint8
+	// mayEvict is the may-domain eviction age; meaningful only when
+	// mayEvicts (assoc fits the byte domain), otherwise may ages
+	// saturate at maxAge and lines are never evicted from may.
+	mayEvict  uint8
+	mayEvicts bool
+}
+
+func newGeom(cfg cache.Config, totalBytes uint32) geom {
+	bb := uint32(cfg.BlockBytes)
+	blocks := uint32(cfg.SizeBytes / cfg.BlockBytes)
+	assoc := uint32(cfg.Assoc)
+	if assoc == 0 {
+		assoc = blocks
+	}
+	g := geom{
+		blockBytes: bb,
+		numSets:    blocks / assoc,
+		assoc:      assoc,
+		numLines:   (totalBytes + bb - 1) / bb,
+	}
+	if assoc <= maxAge {
+		g.mustEvict = uint8(assoc)
+		g.mayEvict = uint8(assoc)
+		g.mayEvicts = true
+	} else {
+		g.mustEvict = maxAge
+	}
+	return g
+}
+
+// set returns the cache set of a line; lines of one set are
+// l, l+numSets, l+2*numSets, ... (tag = line / numSets), matching the
+// simulator's mapping.
+func (g geom) set(l uint32) uint32 { return l % g.numSets }
+
+// mustAccess applies the must-domain update for one access to line x.
+func (g geom) mustAccess(st []uint8, x uint32) {
+	h := st[x]
+	if h == 0 {
+		return
+	}
+	limit := h
+	if h == absentAge {
+		limit = g.mustEvict
+	}
+	for y := g.set(x); y < g.numLines; y += g.numSets {
+		a := st[y]
+		if a != absentAge && a < limit {
+			a++
+			if a >= g.mustEvict {
+				a = absentAge
+			}
+			st[y] = a
+		}
+	}
+	st[x] = 0
+}
+
+// mayAccess applies the may-domain update for one access to line x.
+func (g geom) mayAccess(st []uint8, x uint32) {
+	m := st[x]
+	if m == 0 {
+		return
+	}
+	limit := m
+	if m == absentAge {
+		if g.mayEvicts {
+			limit = g.mayEvict
+		} else {
+			limit = absentAge // every present line ages (saturating)
+		}
+	}
+	for y := g.set(x); y < g.numLines; y += g.numSets {
+		a := st[y]
+		if a != absentAge && a < limit {
+			if g.mayEvicts {
+				a++
+				if a >= g.mayEvict {
+					a = absentAge
+				}
+			} else if a < maxAge {
+				a++
+			}
+			st[y] = a
+		}
+	}
+	st[x] = 0
+}
+
+// walk replays the region's line accesses (ascending, one per line) on
+// the must and may states in place. visit, when non-nil, observes each
+// access before it is applied.
+func (g geom) walk(r *region, must, may []uint8, visit func(line uint32, mustHit, mayMiss bool)) {
+	l0, l1, ok := r.lineRange(g.blockBytes)
+	if !ok {
+		return
+	}
+	for l := l0; l <= l1; l++ {
+		if visit != nil {
+			visit(l, must[l] != absentAge, may[l] == absentAge)
+		}
+		g.mustAccess(must, l)
+		g.mayAccess(may, l)
+	}
+}
+
+// joinMust folds src into *dst elementwise-max (nil *dst copies src)
+// and reports whether *dst changed.
+func joinMust(dst *[]uint8, src []uint8) bool {
+	if *dst == nil {
+		*dst = append([]uint8(nil), src...)
+		return true
+	}
+	d := *dst
+	changed := false
+	for i, v := range src {
+		if v > d[i] {
+			d[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// joinMay folds src into *dst elementwise-min (nil *dst copies src)
+// and reports whether *dst changed.
+func joinMay(dst *[]uint8, src []uint8) bool {
+	if *dst == nil {
+		*dst = append([]uint8(nil), src...)
+		return true
+	}
+	d := *dst
+	changed := false
+	for i, v := range src {
+		if v < d[i] {
+			d[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// absResult holds the fixpoint in-states per region; nil states mark
+// regions unreachable from the entry.
+type absResult struct {
+	mustIn     [][]uint8
+	mayIn      [][]uint8
+	iterations int
+}
+
+// fixpoint runs the must/may worklist to a fixpoint over sg. The entry
+// starts from the cold cache (everything absent — exact for both
+// domains); unreached regions stay bottom (nil). Both domains are
+// finite and the transfer/join functions monotone (must ages only
+// grow, may ages only shrink), so termination is guaranteed.
+func (g geom) fixpoint(sg *supergraph) *absResult {
+	n := len(sg.regions)
+	fx := &absResult{mustIn: make([][]uint8, n), mayIn: make([][]uint8, n)}
+	cold := make([]uint8, g.numLines)
+	for i := range cold {
+		cold[i] = absentAge
+	}
+	fx.mustIn[sg.entry] = append([]uint8(nil), cold...)
+	fx.mayIn[sg.entry] = append([]uint8(nil), cold...)
+
+	dirty := make([]bool, n)
+	dirty[sg.entry] = true
+	outM := make([]uint8, g.numLines)
+	outY := make([]uint8, g.numLines)
+	for changed := true; changed; {
+		changed = false
+		for _, ri := range sg.rpo {
+			if !dirty[ri] {
+				continue
+			}
+			dirty[ri] = false
+			fx.iterations++
+			copy(outM, fx.mustIn[ri])
+			copy(outY, fx.mayIn[ri])
+			g.walk(&sg.regions[ri], outM, outY, nil)
+			for _, s := range sg.regions[ri].succs {
+				mch := joinMust(&fx.mustIn[s], outM)
+				ych := joinMay(&fx.mayIn[s], outY)
+				if mch || ych {
+					dirty[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return fx
+}
+
+// Class is the static classification of one line reference.
+type Class uint8
+
+const (
+	// ClassAlwaysHit marks references guaranteed to hit (line in the
+	// must cache on every path).
+	ClassAlwaysHit Class = iota
+	// ClassFirstMiss marks references to persistent lines (their set
+	// never exceeds its ways): at most one miss per cold start.
+	ClassFirstMiss
+	// ClassAlwaysMiss marks references guaranteed to miss (line absent
+	// from the may cache on every path).
+	ClassAlwaysMiss
+	// ClassUnclassified marks references the analysis cannot bound
+	// beyond "may hit or miss".
+	ClassUnclassified
+	// NumClasses sizes per-class arrays.
+	NumClasses
+)
+
+// String returns the conventional abbreviation (AH, FM, AM, NC).
+func (c Class) String() string {
+	switch c {
+	case ClassAlwaysHit:
+		return "AH"
+	case ClassFirstMiss:
+		return "FM"
+	case ClassAlwaysMiss:
+		return "AM"
+	}
+	return "NC"
+}
+
+// Bounds is the whole-program miss classification and the derived
+// static miss-count bounds.
+type Bounds struct {
+	// Lower / Upper bound the miss count of a single complete
+	// execution matching the weights (see Exact).
+	Lower, Upper uint64
+	// Accesses is the modelled instruction fetch count (sum of region
+	// weight x words); equal to the simulator's Stats.Accesses when the
+	// weights are uncapped.
+	Accesses uint64
+	// LineRefs counts static line references (region x line pairs);
+	// WeightedLineRefs is their weighted sum (block-granule accesses).
+	LineRefs         int
+	WeightedLineRefs uint64
+	// Refs / RefWeight count static references and their weights per
+	// class, indexed by Class.
+	Refs      [NumClasses]uint64
+	RefWeight [NumClasses]uint64
+	// PersistentLines counts accessed lines whose set never exceeds
+	// its ways (at most one miss each per cold start).
+	PersistentLines int
+	// Exact reports that the weights describe one complete execution
+	// (one run, no step cap), making the bounds a guarantee for that
+	// run's simulated trace rather than an estimate.
+	Exact bool
+	// Runs is the number of profiling runs aggregated in the weights.
+	Runs int
+}
+
+// LowerRatio returns Lower/Accesses — the static miss-ratio floor.
+func (b Bounds) LowerRatio() float64 {
+	if b.Accesses == 0 {
+		return 0
+	}
+	return float64(b.Lower) / float64(b.Accesses)
+}
+
+// UpperRatio returns Upper/Accesses — the static miss-ratio ceiling.
+func (b Bounds) UpperRatio() float64 {
+	if b.Accesses == 0 {
+		return 0
+	}
+	return float64(b.Upper) / float64(b.Accesses)
+}
+
+// FuncBounds is the per-function slice of the bounds. Function upper
+// bounds skip the persistence tightening (it is a whole-program
+// property), so Upper sums may exceed the program bound.
+type FuncBounds struct {
+	Func         ir.FuncID
+	Name         string
+	Lower, Upper uint64
+	Accesses     uint64
+}
+
+// classify walks every region once more with the fixpoint in-states,
+// classifies each line reference, and accumulates the miss bounds.
+//
+// Lower: every always-miss reference misses on each of its weighted
+// executions. Upper: every non-always-hit reference may miss each
+// time, except references to persistent lines, which contribute at
+// most one miss per cold start (min'd with the run count).
+func classify(sg *supergraph, g geom, fx *absResult, p *ir.Program, w *profile.Weights) (Bounds, []FuncBounds) {
+	var b Bounds
+	b.Runs = w.Runs
+	b.Exact = w.Capped == 0 && w.Runs == 1
+	runs := uint64(w.Runs)
+	if runs == 0 {
+		runs = 1
+	}
+
+	// Persistence: a line is persistent when the distinct lines with
+	// executed fetches mapping to its set fit the ways — the simulator
+	// prefers invalid ways, so such a set never evicts.
+	accessed := make([]bool, g.numLines)
+	for ri := range sg.regions {
+		r := &sg.regions[ri]
+		if r.weight == 0 {
+			continue
+		}
+		if l0, l1, ok := r.lineRange(g.blockBytes); ok {
+			for l := l0; l <= l1; l++ {
+				accessed[l] = true
+			}
+		}
+	}
+	setLines := make([]uint32, g.numSets)
+	for l := uint32(0); l < g.numLines; l++ {
+		if accessed[l] {
+			setLines[g.set(l)]++
+		}
+	}
+	persistent := func(l uint32) bool { return setLines[g.set(l)] <= g.assoc }
+	for l := uint32(0); l < g.numLines; l++ {
+		if accessed[l] && persistent(l) {
+			b.PersistentLines++
+		}
+	}
+
+	nFuncs := len(p.Funcs)
+	fLower := make([]uint64, nFuncs)
+	fUpper := make([]uint64, nFuncs)
+	fAccesses := make([]uint64, nFuncs)
+	nonAH := make([]uint64, g.numLines) // non-always-hit weight on persistent lines
+
+	scM := make([]uint8, g.numLines)
+	scY := make([]uint8, g.numLines)
+	for ri := range sg.regions {
+		r := &sg.regions[ri]
+		fetches := r.weight * uint64(r.words)
+		b.Accesses += fetches
+		fAccesses[r.f] += fetches
+
+		ref := func(l uint32, mustHit, mayMiss bool) {
+			b.LineRefs++
+			b.WeightedLineRefs += r.weight
+			var cl Class
+			switch {
+			case mustHit:
+				cl = ClassAlwaysHit
+			case mayMiss:
+				cl = ClassAlwaysMiss
+			case persistent(l):
+				cl = ClassFirstMiss
+			default:
+				cl = ClassUnclassified
+			}
+			b.Refs[cl]++
+			b.RefWeight[cl] += r.weight
+			if cl == ClassAlwaysMiss {
+				b.Lower += r.weight
+				fLower[r.f] += r.weight
+			}
+			if cl != ClassAlwaysHit {
+				fUpper[r.f] += r.weight
+				if persistent(l) {
+					nonAH[l] += r.weight
+				} else {
+					b.Upper += r.weight
+				}
+			}
+		}
+		if fx.mustIn[ri] == nil {
+			// Unreachable in the supergraph (weight 0 when the weights
+			// are exact): count the static refs as unclassified.
+			if l0, l1, ok := r.lineRange(g.blockBytes); ok {
+				for l := l0; l <= l1; l++ {
+					ref(l, false, false)
+				}
+			}
+			continue
+		}
+		copy(scM, fx.mustIn[ri])
+		copy(scY, fx.mayIn[ri])
+		g.walk(r, scM, scY, ref)
+	}
+	for l := uint32(0); l < g.numLines; l++ {
+		if nonAH[l] == 0 {
+			continue
+		}
+		if nonAH[l] < runs {
+			b.Upper += nonAH[l]
+		} else {
+			b.Upper += runs
+		}
+	}
+
+	var perFunc []FuncBounds
+	for fi := 0; fi < nFuncs; fi++ {
+		if fAccesses[fi] == 0 && fUpper[fi] == 0 {
+			continue
+		}
+		perFunc = append(perFunc, FuncBounds{
+			Func: ir.FuncID(fi), Name: p.Funcs[fi].Name,
+			Lower: fLower[fi], Upper: fUpper[fi], Accesses: fAccesses[fi],
+		})
+	}
+	return b, perFunc
+}

@@ -1,0 +1,141 @@
+// Package analysis is the static cache-behavior analyzer: a
+// profile-aware model of the instruction cache computed from the
+// laid-out IR alone, never from a trace.
+//
+// It is the repo's second, independent model of the memory system next
+// to the trace-driven simulator (internal/cache), in the spirit of
+// static layout evaluation in later placement work (Codestitcher;
+// Newell & Pupyrev's ext-TSP). Three cooperating passes:
+//
+//  1. Layout-quality scoring (score.go): the weighted fall-through
+//     ratio and an ext-TSP-style locality score over arc/call weights
+//     and final block addresses.
+//  2. Cache-set conflict analysis (conflict.go): map laid-out code to
+//     the sets of a cache geometry, weigh each line by profiled fetch
+//     weight, and rank the sets whose demand exceeds their ways — the
+//     static predictor of conflict misses.
+//  3. Must/may abstract interpretation (absint.go): per-reference
+//     always-hit / always-miss / first-miss / unclassified
+//     classification via abstract cache states (Ferdinand & Wilhelm
+//     style ageing caches) joined over a region supergraph
+//     (regions.go), yielding static miss-count lower/upper bounds.
+//
+// The bounds are the load-bearing artifact: for a single complete
+// execution matching the weights (Bounds.Exact), the simulator's
+// measured miss count must fall inside [Lower, Upper]. That single
+// invariant cross-validates this package, the layout code, and the
+// sweep engine against each other; internal/experiments.BoundCheck and
+// the CI strict step enforce it. See docs/ANALYSIS.md for the abstract
+// domain and the soundness argument.
+package analysis
+
+import (
+	"fmt"
+
+	"impact/internal/cache"
+	"impact/internal/layout"
+	"impact/internal/obs"
+	"impact/internal/profile"
+)
+
+// Config parameterises one analysis.
+type Config struct {
+	// Cache is the geometry analysed. The abstract model covers LRU
+	// whole-block organisations without prefetch (any size, block
+	// size, and associativity); Analyze rejects anything else. Timing
+	// is ignored — miss counts do not depend on it.
+	Cache cache.Config
+	// TopSets / TopLines / TopPairs bound the conflict report: how
+	// many pressured sets to keep, lines per set, and function pairs.
+	// Zero means 8 / 4 / 8.
+	TopSets, TopLines, TopPairs int
+	// Obs, when non-nil, receives analysis.* counters.
+	Obs *obs.Registry
+}
+
+// Result is the complete static analysis of one layout under one
+// cache geometry.
+type Result struct {
+	// Cache is the analysed geometry.
+	Cache cache.Config
+	// Score is the geometry-independent layout quality score.
+	Score Score
+	// Conflicts ranks the hot set-pressure conflicts.
+	Conflicts ConflictReport
+	// Bounds is the whole-program miss classification and bounds.
+	Bounds Bounds
+	// PerFunc holds per-function bounds for functions with any
+	// profiled fetches, in FuncID order.
+	PerFunc []FuncBounds
+	// Regions is the size of the region supergraph.
+	Regions int
+	// Iterations counts region transfer evaluations until fixpoint.
+	Iterations int
+}
+
+// Analyze statically analyses the laid-out program under the given
+// profile weights. It reads only lay, w, and cfg — no trace is
+// decoded, no execution replayed.
+//
+// Bound semantics: when Bounds.Exact (weights from one complete run),
+// the misses of simulating that run's trace on cfg.Cache lie in
+// [Bounds.Lower, Bounds.Upper]. Otherwise the bounds describe the
+// abstract single-execution model of the aggregated weights and are
+// estimates, not guarantees (see docs/ANALYSIS.md).
+func Analyze(lay *layout.Layout, w *profile.Weights, cfg Config) (*Result, error) {
+	p := lay.Program()
+	if err := w.Check(p); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	if err := cfg.Cache.Validate(); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	switch {
+	case cfg.Cache.Replacement != cache.LRU:
+		return nil, fmt.Errorf("analysis: %v replacement is outside the abstract cache model (need LRU)", cfg.Cache.Replacement)
+	case cfg.Cache.SectorBytes != 0:
+		return nil, fmt.Errorf("analysis: sectored fills are outside the abstract cache model (whole-block only)")
+	case cfg.Cache.PartialLoad:
+		return nil, fmt.Errorf("analysis: partial loading is outside the abstract cache model (whole-block only)")
+	case cfg.Cache.PrefetchNext:
+		return nil, fmt.Errorf("analysis: prefetching is outside the abstract cache model")
+	}
+	if lay.Total == 0 {
+		return nil, fmt.Errorf("analysis: layout places no code")
+	}
+	if cfg.TopSets == 0 {
+		cfg.TopSets = 8
+	}
+	if cfg.TopLines == 0 {
+		cfg.TopLines = 4
+	}
+	if cfg.TopPairs == 0 {
+		cfg.TopPairs = 8
+	}
+
+	sg := buildSupergraph(lay, w)
+	g := newGeom(cfg.Cache, lay.Total)
+	fx := g.fixpoint(sg)
+	bounds, perFunc := classify(sg, g, fx, p, w)
+
+	res := &Result{
+		Cache:      cfg.Cache,
+		Score:      scoreLayout(lay, w),
+		Conflicts:  conflictReport(sg, g, p, cfg.TopSets, cfg.TopLines, cfg.TopPairs),
+		Bounds:     bounds,
+		PerFunc:    perFunc,
+		Regions:    len(sg.regions),
+		Iterations: fx.iterations,
+	}
+
+	reg := cfg.Obs
+	reg.Counter("analysis.runs").Inc()
+	reg.Counter("analysis.regions").Add(uint64(res.Regions))
+	reg.Counter("analysis.iterations").Add(uint64(res.Iterations))
+	reg.Counter("analysis.refs").Add(uint64(res.Bounds.LineRefs))
+	reg.Counter("analysis.always_hit").Add(res.Bounds.Refs[ClassAlwaysHit])
+	reg.Counter("analysis.first_miss").Add(res.Bounds.Refs[ClassFirstMiss])
+	reg.Counter("analysis.always_miss").Add(res.Bounds.Refs[ClassAlwaysMiss])
+	reg.Counter("analysis.unclassified").Add(res.Bounds.Refs[ClassUnclassified])
+	return res, nil
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"sort"
+
+	"impact/internal/ir"
+)
+
+// The conflict pass is the static predictor of conflict misses: it
+// distributes each region's fetch weight over the cache lines it
+// occupies, folds lines into the sets of the analysed geometry, and
+// ranks the sets whose weighted demand spills past their ways. Each
+// hot line is attributed to the function owning most of its bytes, so
+// the report can name the function pairs fighting over a set — the
+// candidates the paper's placement passes are supposed to separate.
+
+// LineShare is one cache line's contribution to a pressured set.
+type LineShare struct {
+	// Line is the cache line index (Addr / block bytes).
+	Line uint32
+	// Addr is the line's first byte address.
+	Addr uint32
+	// Weight is the summed fetch weight of regions touching the line.
+	Weight uint64
+	// Func names the function owning the largest share of the line.
+	Func     ir.FuncID
+	FuncName string
+}
+
+// SetPressure describes one cache set's weighted demand.
+type SetPressure struct {
+	// Set is the set index.
+	Set int
+	// Weight is the set's total fetch weight across all its lines.
+	Weight uint64
+	// Excess is the weight beyond the set's ways: the sum over all
+	// lines past the assoc hottest — weight that must contend.
+	Excess uint64
+	// Lines holds the set's hottest lines, descending by weight.
+	Lines []LineShare
+}
+
+// FuncPair is a ranked pair of functions contending for cache sets.
+type FuncPair struct {
+	A, B         ir.FuncID
+	AName, BName string
+	// Weight sums, over every overflowing set where both functions own
+	// lines, the smaller of the two functions' set weights — an upper
+	// estimate of the fetch weight their conflict can disturb.
+	Weight uint64
+}
+
+// ConflictReport ranks the hot set-pressure conflicts of one layout
+// under one geometry.
+type ConflictReport struct {
+	// Sets holds the most pressured sets, descending by Excess.
+	Sets []SetPressure
+	// TotalExcess sums Excess over all sets, not just the reported
+	// ones — the single-number conflict pressure of the layout.
+	TotalExcess uint64
+	// Pairs ranks function pairs contending in overflowing sets.
+	Pairs []FuncPair
+}
+
+func conflictReport(sg *supergraph, g geom, p *ir.Program, topSets, topLines, topPairs int) ConflictReport {
+	// Distribute region weight over lines and attribute each line to
+	// the function covering most of its bytes.
+	lineW := make([]uint64, g.numLines)
+	ownerBytes := make([]map[ir.FuncID]uint32, g.numLines)
+	for ri := range sg.regions {
+		r := &sg.regions[ri]
+		if r.weight == 0 {
+			continue
+		}
+		l0, l1, ok := r.lineRange(g.blockBytes)
+		if !ok {
+			continue
+		}
+		end := r.addr + uint32(r.words)*ir.InstrBytes
+		for l := l0; l <= l1; l++ {
+			lineW[l] += r.weight
+			lo, hi := l*g.blockBytes, (l+1)*g.blockBytes
+			if r.addr > lo {
+				lo = r.addr
+			}
+			if end < hi {
+				hi = end
+			}
+			if ownerBytes[l] == nil {
+				ownerBytes[l] = make(map[ir.FuncID]uint32)
+			}
+			ownerBytes[l][r.f] += hi - lo
+		}
+	}
+	owner := make([]ir.FuncID, g.numLines)
+	for l := range owner {
+		owner[l] = ir.NoFunc
+		var best uint32
+		//lint:maprange candidates re-sorted below; ties broken by FuncID
+		for f, bytes := range ownerBytes[l] {
+			if bytes > best || (bytes == best && owner[l] != ir.NoFunc && f < owner[l]) {
+				best = bytes
+				owner[l] = f
+			}
+		}
+	}
+
+	// Fold lines into sets and rank pressure.
+	rep := ConflictReport{}
+	type setInfo struct {
+		SetPressure
+		funcW map[ir.FuncID]uint64 // per-function weight in the set
+	}
+	var overflowing []*setInfo
+	var keep []SetPressure
+	for s := uint32(0); s < g.numSets; s++ {
+		var lines []LineShare
+		var total uint64
+		for l := s; l < g.numLines; l += g.numSets {
+			if lineW[l] == 0 {
+				continue
+			}
+			ls := LineShare{Line: l, Addr: l * g.blockBytes, Weight: lineW[l], Func: owner[l]}
+			if ls.Func != ir.NoFunc {
+				ls.FuncName = p.Funcs[ls.Func].Name
+			}
+			lines = append(lines, ls)
+			total += lineW[l]
+		}
+		if len(lines) <= int(g.assoc) {
+			continue
+		}
+		sort.Slice(lines, func(i, j int) bool {
+			if lines[i].Weight != lines[j].Weight {
+				return lines[i].Weight > lines[j].Weight
+			}
+			return lines[i].Line < lines[j].Line
+		})
+		var excess uint64
+		for _, ls := range lines[g.assoc:] {
+			excess += ls.Weight
+		}
+		if excess == 0 {
+			continue
+		}
+		rep.TotalExcess += excess
+		si := &setInfo{
+			SetPressure: SetPressure{Set: int(s), Weight: total, Excess: excess, Lines: lines},
+			funcW:       make(map[ir.FuncID]uint64),
+		}
+		for _, ls := range lines {
+			if ls.Func != ir.NoFunc {
+				si.funcW[ls.Func] += ls.Weight
+			}
+		}
+		overflowing = append(overflowing, si)
+		keep = append(keep, si.SetPressure)
+	}
+
+	sort.Slice(keep, func(i, j int) bool {
+		if keep[i].Excess != keep[j].Excess {
+			return keep[i].Excess > keep[j].Excess
+		}
+		return keep[i].Set < keep[j].Set
+	})
+	if len(keep) > topSets {
+		keep = keep[:topSets]
+	}
+	for i := range keep {
+		if len(keep[i].Lines) > topLines {
+			keep[i].Lines = keep[i].Lines[:topLines]
+		}
+	}
+	rep.Sets = keep
+
+	// Rank contending function pairs across overflowing sets.
+	pairW := make(map[[2]ir.FuncID]uint64)
+	for _, si := range overflowing {
+		funcs := make([]ir.FuncID, 0, len(si.funcW))
+		//lint:maprange keys collected then sorted
+		for f := range si.funcW {
+			funcs = append(funcs, f)
+		}
+		sort.Slice(funcs, func(i, j int) bool { return funcs[i] < funcs[j] })
+		for i := 0; i < len(funcs); i++ {
+			for j := i + 1; j < len(funcs); j++ {
+				wa, wb := si.funcW[funcs[i]], si.funcW[funcs[j]]
+				if wb < wa {
+					wa = wb
+				}
+				pairW[[2]ir.FuncID{funcs[i], funcs[j]}] += wa
+			}
+		}
+	}
+	pairs := make([]FuncPair, 0, len(pairW))
+	//lint:maprange pairs fully sorted below
+	for k, wgt := range pairW {
+		pairs = append(pairs, FuncPair{
+			A: k[0], B: k[1],
+			AName: p.Funcs[k[0]].Name, BName: p.Funcs[k[1]].Name,
+			Weight: wgt,
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Weight != pairs[j].Weight {
+			return pairs[i].Weight > pairs[j].Weight
+		}
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	if len(pairs) > topPairs {
+		pairs = pairs[:topPairs]
+	}
+	rep.Pairs = pairs
+	return rep
+}

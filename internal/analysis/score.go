@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"impact/internal/ir"
+	"impact/internal/layout"
+	"impact/internal/profile"
+)
+
+// Ext-TSP distance model (Newell & Pupyrev, "Improved Basic Block
+// Reordering"): a control transfer scores its full weight when the
+// target is the fall-through address, a decayed fraction when it jumps
+// forward within a small window, a faster-decayed fraction when it
+// jumps backward within a smaller window, and nothing beyond.
+const (
+	extTSPForward  = 1024 // forward-jump window in bytes
+	extTSPBackward = 640  // backward-jump window in bytes
+	extTSPWeight   = 0.1  // non-fall-through jumps score at most this
+)
+
+// Score is the geometry-independent layout quality of one layout
+// under one profile.
+type Score struct {
+	// TotalWeight is the summed weight of all scored control
+	// transfers (intra-function arcs and call edges; returns are
+	// excluded — the return address is caller state, not layout).
+	TotalWeight uint64
+	// FallThrough is the weight of transfers whose target is the
+	// address immediately after the source — fetches the sequential
+	// prefetch stream already covers.
+	FallThrough uint64
+	// ExtTSP is the weighted ext-TSP locality score in [0, 1]: 1 when
+	// every transfer falls through, 0 when every transfer jumps
+	// beyond the locality windows.
+	ExtTSP float64
+}
+
+// FallThroughRatio returns FallThrough/TotalWeight (0 when unprofiled).
+func (s Score) FallThroughRatio() float64 {
+	if s.TotalWeight == 0 {
+		return 0
+	}
+	return float64(s.FallThrough) / float64(s.TotalWeight)
+}
+
+// extTSPFactor scores one transfer from source-end address srcEnd to
+// target address dst.
+func extTSPFactor(srcEnd, dst uint32) float64 {
+	if dst == srcEnd {
+		return 1
+	}
+	if dst > srcEnd {
+		d := dst - srcEnd
+		if d < extTSPForward {
+			return extTSPWeight * (1 - float64(d)/extTSPForward)
+		}
+		return 0
+	}
+	d := srcEnd - dst
+	if d < extTSPBackward {
+		return extTSPWeight * (1 - float64(d)/extTSPBackward)
+	}
+	return 0
+}
+
+// scoreLayout scores every profiled control transfer of the laid-out
+// program: each intra-function arc from the end of its source block to
+// its target block, and each call from the instruction after the call
+// site to the callee's entry.
+func scoreLayout(lay *layout.Layout, w *profile.Weights) Score {
+	p := lay.Program()
+	var s Score
+	var acc float64
+	edge := func(srcEnd, dst uint32, weight uint64) {
+		if weight == 0 {
+			return
+		}
+		s.TotalWeight += weight
+		if dst == srcEnd {
+			s.FallThrough += weight
+		}
+		acc += float64(weight) * extTSPFactor(srcEnd, dst)
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			srcEnd := lay.BlockEnd(f.ID, b.ID)
+			for k, a := range b.Out {
+				edge(srcEnd, lay.BlockAddr(f.ID, a.To), w.ArcWeight(f.ID, b.ID, k))
+			}
+			for _, c := range b.CallSites() {
+				site := ir.CallSite{Func: f.ID, Block: b.ID, Instr: int32(c)}
+				callee := b.Instrs[c].Callee
+				edge(lay.InstrAddr(f.ID, b.ID, int32(c))+ir.InstrBytes,
+					lay.BlockAddr(callee, p.Funcs[callee].Entry),
+					w.SiteWeight(site))
+			}
+		}
+	}
+	if s.TotalWeight > 0 {
+		s.ExtTSP = acc / float64(s.TotalWeight)
+	}
+	return s
+}

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 
+	"impact/internal/analysis"
 	"impact/internal/core/funclayout"
 	"impact/internal/core/globallayout"
 	"impact/internal/core/inline"
@@ -262,6 +263,10 @@ type Unit struct {
 	TraceLayout bool
 	// SplitCold reports whether the effective/non-executed split ran.
 	SplitCold bool
+
+	// Analysis is the static cache-behavior analysis of Layout
+	// (bounds consistency).
+	Analysis *analysis.Result
 }
 
 // funcName resolves a FuncID to its name for diagnostics.
@@ -283,6 +288,8 @@ const (
 	StageTrace = "traceselect"
 	// StageLayout checks the composed function and global layouts.
 	StageLayout = "layout"
+	// StageAnalysis checks the static cache-behavior analysis.
+	StageAnalysis = "analysis"
 )
 
 // Analyzer is one named pass over a Unit.
@@ -309,6 +316,7 @@ func All() []*Analyzer {
 		tracesAnalyzer(),
 		funcLayoutAnalyzer(),
 		globalLayoutAnalyzer(),
+		boundsAnalyzer(),
 	}
 }
 
@@ -336,6 +344,8 @@ func ForStage(stage string) []*Analyzer {
 		return pick("traces")
 	case StageLayout:
 		return pick("funclayout", "globallayout")
+	case StageAnalysis:
+		return pick("bounds")
 	}
 	return nil
 }

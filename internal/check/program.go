@@ -2,6 +2,7 @@ package check
 
 import (
 	"math"
+	"sort"
 
 	"impact/internal/ir"
 	"impact/internal/profile"
@@ -190,6 +191,7 @@ func runWeightFlow(u *Unit, r *reporter) {
 	// recorded pair weights, entries, and dynamic call total.
 	pairs := make(map[profile.CallPair]uint64, len(w.Pairs))
 	var siteTotal uint64
+	//lint:maprange order-insensitive accumulation; diagnostics are re-sorted by Report
 	for s, c := range w.Sites {
 		if int(s.Func) >= len(p.Funcs) || int(s.Block) >= len(p.Funcs[s.Func].Blocks) ||
 			int(s.Instr) >= len(p.Funcs[s.Func].Blocks[s.Block].Instrs) ||
@@ -200,12 +202,14 @@ func runWeightFlow(u *Unit, r *reporter) {
 		pairs[profile.CallPair{Caller: s.Func, Callee: p.Callee(s)}] += c
 		siteTotal += c
 	}
-	for pair, want := range pairs {
+	for _, pair := range sortedPairs(pairs) {
+		want := pairs[pair]
 		if got := w.Pairs[pair]; got != want {
 			r.errorf(FuncLoc(pair.Caller), "call-graph weight %d for callee %d != %d, the sum of its site weights", got, pair.Callee, want)
 		}
 	}
-	for pair, got := range w.Pairs {
+	for _, pair := range sortedPairs(w.Pairs) {
+		got := w.Pairs[pair]
 		if _, ok := pairs[pair]; !ok && got != 0 {
 			r.errorf(FuncLoc(pair.Caller), "call-graph arc to callee %d has weight %d but no executed call site", pair.Callee, got)
 		}
@@ -215,6 +219,7 @@ func runWeightFlow(u *Unit, r *reporter) {
 	}
 	for _, f := range p.Funcs {
 		var want uint64
+		//lint:maprange order-insensitive sum
 		for pair, c := range pairs {
 			if pair.Callee == f.ID {
 				want += c
@@ -227,4 +232,21 @@ func runWeightFlow(u *Unit, r *reporter) {
 			r.errorf(FuncLoc(f.ID), "function entries %d != %d, the incoming call-graph weight (plus one per run for the program entry)", got, want)
 		}
 	}
+}
+
+// sortedPairs returns m's keys ordered by caller then callee, so
+// per-pair diagnostics come out in a reproducible source order.
+func sortedPairs(m map[profile.CallPair]uint64) []profile.CallPair {
+	out := make([]profile.CallPair, 0, len(m))
+	//lint:maprange order restored by the sort below
+	for pair := range m {
+		out = append(out, pair)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Caller != out[j].Caller {
+			return out[i].Caller < out[j].Caller
+		}
+		return out[i].Callee < out[j].Callee
+	})
+	return out
 }

@@ -19,6 +19,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"impact/internal/cache"
 	"impact/internal/obs"
@@ -133,4 +135,61 @@ func (c *Common) MustClose() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// CacheFlags holds the cache-geometry flags shared by every command
+// that parameterises a cache organisation (icsim, impact simulate,
+// impact run, impact analyze): one definition, one set of defaults,
+// one help text.
+type CacheFlags struct {
+	Size    int
+	Sizes   string
+	Block   int
+	Assoc   int
+	Sector  int
+	Partial bool
+}
+
+// AddCacheFlags registers the shared cache-geometry flags on fs with
+// the paper's default organisation (2KB direct-mapped, 64B blocks,
+// whole-block fill).
+func AddCacheFlags(fs *flag.FlagSet) *CacheFlags {
+	c := &CacheFlags{}
+	fs.IntVar(&c.Size, "size", 2048, "cache size in bytes")
+	fs.StringVar(&c.Sizes, "sizes", "", "comma-separated cache sizes to sweep in one pass (overrides -size)")
+	fs.IntVar(&c.Block, "block", 64, "block size in bytes")
+	fs.IntVar(&c.Assoc, "assoc", 1, "associativity (0 = fully associative)")
+	fs.IntVar(&c.Sector, "sector", 0, "sector size in bytes (0 = whole-block fill)")
+	fs.BoolVar(&c.Partial, "partial", false, "partial loading (fill from miss word to block end)")
+	return c
+}
+
+// Config returns the cache configuration the flags describe. Policy
+// extensions outside the shared set (replacement, prefetch, timing)
+// stay at their zero values for the caller to fill in.
+func (c *CacheFlags) Config() cache.Config {
+	return cache.Config{
+		SizeBytes:   c.Size,
+		BlockBytes:  c.Block,
+		Assoc:       c.Assoc,
+		SectorBytes: c.Sector,
+		PartialLoad: c.Partial,
+	}
+}
+
+// SizeList parses -sizes. It returns nil (and no error) when the flag
+// was not given, meaning the caller should use -size.
+func (c *CacheFlags) SizeList() ([]int, error) {
+	if c.Sizes == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(c.Sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -sizes entry %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

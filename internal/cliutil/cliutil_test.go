@@ -1,0 +1,56 @@
+package cliutil
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
+
+func parseCache(t *testing.T, args ...string) *CacheFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cf := AddCacheFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return cf
+}
+
+func TestCacheFlagsDefaults(t *testing.T) {
+	cf := parseCache(t)
+	cfg := cf.Config()
+	if cfg.SizeBytes != 2048 || cfg.BlockBytes != 64 || cfg.Assoc != 1 {
+		t.Fatalf("default geometry = %+v, want 2048/64/1", cfg)
+	}
+	if cfg.SectorBytes != 0 || cfg.PartialLoad {
+		t.Fatalf("default fill policy = %+v, want whole-block", cfg)
+	}
+	list, err := cf.SizeList()
+	if err != nil || list != nil {
+		t.Fatalf("SizeList without -sizes = %v, %v; want nil, nil", list, err)
+	}
+}
+
+func TestCacheFlagsParse(t *testing.T) {
+	cf := parseCache(t, "-size", "512", "-block", "16", "-assoc", "0", "-sector", "8", "-partial")
+	cfg := cf.Config()
+	if cfg.SizeBytes != 512 || cfg.BlockBytes != 16 || cfg.Assoc != 0 ||
+		cfg.SectorBytes != 8 || !cfg.PartialLoad {
+		t.Fatalf("parsed config = %+v", cfg)
+	}
+}
+
+func TestCacheFlagsSizeList(t *testing.T) {
+	cf := parseCache(t, "-sizes", "512, 1024,2048")
+	list, err := cf.SizeList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{512, 1024, 2048}; !reflect.DeepEqual(list, want) {
+		t.Fatalf("SizeList = %v, want %v", list, want)
+	}
+	cf = parseCache(t, "-sizes", "512,x")
+	if _, err := cf.SizeList(); err == nil {
+		t.Fatal("bad -sizes entry not rejected")
+	}
+}

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 
+	"impact/internal/analysis"
 	"impact/internal/check"
 	"impact/internal/core/funclayout"
 	"impact/internal/core/globallayout"
@@ -77,6 +78,11 @@ type Config struct {
 	// it, Warn collects diagnostics into Result.Checks, Strict
 	// additionally fails the run on any error-severity diagnostic.
 	Check check.Mode
+	// Analysis, when non-nil, runs the static cache-behavior analyzer
+	// (internal/analysis) on the final layout and stores the result in
+	// Result.Analysis; its internal consistency is verified under
+	// Config.Check like any pipeline stage. Nil skips the analysis.
+	Analysis *analysis.Config
 	// Obs, when non-nil, receives per-stage spans (pipeline/profile,
 	// pipeline/inline, pipeline/traceselect, pipeline/funclayout,
 	// pipeline/globallayout, pipeline/compose) and work counters; nil
@@ -126,6 +132,10 @@ type Result struct {
 	// Checks holds the verifier's diagnostics (nil when Config.Check
 	// is Off).
 	Checks *check.Report
+
+	// Analysis holds the static cache-behavior analysis of the final
+	// layout (nil unless Config.Analysis was set).
+	Analysis *analysis.Result
 }
 
 // Optimize runs the configured pipeline steps on p.
@@ -327,6 +337,26 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 		TraceLayout: cfg.Strategy.TraceLayout, SplitCold: cfg.Strategy.SplitCold,
 	}); err != nil {
 		return nil, err
+	}
+
+	// Optional stage: static cache-behavior analysis of the layout.
+	if cfg.Analysis != nil {
+		acfg := *cfg.Analysis
+		if acfg.Obs == nil {
+			acfg.Obs = cfg.Obs
+		}
+		sp = pipe.Span("analysis")
+		res.Analysis, err = analysis.Analyze(res.Layout, w, acfg)
+		sp.End()
+		if err != nil {
+			return nil, fmt.Errorf("core: static cache analysis: %w", err)
+		}
+		if err := verify(&check.Unit{
+			Stage: check.StageAnalysis, Prog: prog, Weights: w,
+			Layout: res.Layout, Analysis: res.Analysis,
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

@@ -28,6 +28,7 @@ func PettisHansen(p *ir.Program, w *profile.Weights) Order {
 		weight uint64
 	}
 	var edges []edge
+	//lint:maprange order restored by the sort below
 	for pair, c := range w.Pairs {
 		if pair.Caller == pair.Callee || c == 0 {
 			continue

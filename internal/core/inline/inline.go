@@ -106,6 +106,7 @@ func Expand(p *ir.Program, w *profile.Weights, cfg Config) (*ir.Program, Report,
 
 	// Working estimates on the evolving program.
 	sites := make(map[ir.CallSite]uint64, len(w.Sites))
+	//lint:maprange map-to-map copy
 	for s, c := range w.Sites {
 		sites[s] = c
 	}
@@ -126,6 +127,7 @@ func Expand(p *ir.Program, w *profile.Weights, cfg Config) (*ir.Program, Report,
 		var best ir.CallSite
 		var bestW uint64
 		found := false
+		//lint:maprange max with full deterministic tie-break
 		for s, c := range sites {
 			if c < minWeight || skipped[s] {
 				continue
@@ -225,6 +227,7 @@ func expandSite(p *ir.Program, s ir.CallSite, sites map[ir.CallSite]uint64, entr
 	caller.Blocks = append(caller.Blocks, tail)
 
 	// Re-key sites that moved from the split block into the tail.
+	//lint:maprange independent per-key re-keying; inserted keys cannot match the filter
 	for old, c := range sites {
 		if old.Func == s.Func && old.Block == s.Block && old.Instr > s.Instr {
 			delete(sites, old)

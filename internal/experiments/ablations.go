@@ -59,6 +59,7 @@ func AblationLayout(s *Suite) ([]AblationLayoutRow, error) {
 		}
 		traces["random"] = rndTr
 
+		//lint:maprange results land in the traces map; rendering iterates LayoutStrategies
 		for name, st := range strategies {
 			ccfg := core.DefaultConfig(b.ProfileSeeds...)
 			ccfg.Interp = b.InterpConfig()

@@ -20,12 +20,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"impact/internal/cache"
 	"impact/internal/check"
 	"impact/internal/core"
 	"impact/internal/interp"
 	"impact/internal/layout"
 	"impact/internal/memtrace"
 	"impact/internal/obs"
+	"impact/internal/profile"
 	"impact/internal/workload"
 )
 
@@ -51,6 +53,17 @@ type Prepared struct {
 	// table generation from pipeline-bound into a map lookup.
 	derivedMu sync.Mutex
 	derived   map[string]*derivedVariant
+
+	// evalW memoizes the evaluation-run profile of the optimized
+	// program (see EvalWeights).
+	evalWOnce sync.Once
+	evalW     *profile.Weights
+	evalWErr  error
+
+	// analyzed memoizes static analyses per cache geometry (see
+	// Analyze).
+	analyzedMu sync.Mutex
+	analyzed   map[cache.Config]*analyzedEntry
 }
 
 // derivedVariant is one memoized pipeline re-run.
@@ -254,7 +267,11 @@ func prepareOne(b *workload.Benchmark, opts Options) (*Prepared, error) {
 		return nil, err
 	}
 	interp.Record(opts.Obs, natRun, time.Since(tStart))
-	for layoutName, run := range map[string]interp.Result{"optimized": optRun, "natural": natRun} {
+	for _, e := range []struct {
+		layout string
+		run    interp.Result
+	}{{"optimized", optRun}, {"natural", natRun}} {
+		layoutName, run := e.layout, e.run
 		if !run.Completed {
 			opts.Obs.Counter("interp.eval_capped").Inc()
 			opts.logger().Warn("evaluation run hit the instruction cap",

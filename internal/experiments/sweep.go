@@ -257,6 +257,7 @@ func (e *Engine) Batch(reqs []SimRequest) ([]cache.Stats, error) {
 	}
 
 	e.mu.Lock()
+	//lint:maprange map-to-map copy
 	for k, st := range results {
 		e.memo[k] = st
 	}
@@ -280,6 +281,7 @@ func (e *Engine) plan(pending map[simKey]*memtrace.Trace) []workUnit {
 	}
 	stackGroups := make(map[geomKey][]simKey)
 	eligible := make(map[simKey]geomKey)
+	//lint:maprange grouping only; results are keyed, never positional
 	for k := range pending {
 		cfg := k.cfg.config()
 		if sweep.Eligible(cfg) {
@@ -291,6 +293,7 @@ func (e *Engine) plan(pending map[simKey]*memtrace.Trace) []workUnit {
 	}
 	var units []workUnit
 	replay := make(map[uint64]*workUnit)
+	//lint:maprange unit membership and results are keyed, never positional
 	for k, tr := range pending {
 		if g, ok := eligible[k]; ok {
 			group := stackGroups[g]
@@ -309,6 +312,7 @@ func (e *Engine) plan(pending map[simKey]*memtrace.Trace) []workUnit {
 		}
 		u.keys = append(u.keys, k)
 	}
+	//lint:maprange pass order does not affect per-key stats, which is all callers see
 	for g, group := range stackGroups {
 		if len(group) >= 2 || group[0].cfg.assoc > 8 {
 			units = append(units, workUnit{
@@ -317,6 +321,7 @@ func (e *Engine) plan(pending map[simKey]*memtrace.Trace) []workUnit {
 			})
 		}
 	}
+	//lint:maprange pass order does not affect per-key stats, which is all callers see
 	for _, u := range replay {
 		units = append(units, *u)
 	}

@@ -57,6 +57,12 @@ func (l *Layout) InstrAddr(f ir.FuncID, b ir.BlockID, i int32) uint32 {
 	return l.addr[f][b] + uint32(i)*ir.InstrBytes
 }
 
+// BlockEnd returns one past the last code byte of block b in function
+// f — the address a fall-through successor must start at.
+func (l *Layout) BlockEnd(f ir.FuncID, b ir.BlockID) uint32 {
+	return l.addr[f][b] + uint32(l.prog.Funcs[f].Blocks[b].Bytes())
+}
+
 // FromPlacement assigns addresses following pl's order. It returns an
 // error unless pl covers every block of p exactly once.
 func FromPlacement(p *ir.Program, pl Placement) (*Layout, error) {

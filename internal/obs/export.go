@@ -39,32 +39,40 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
+	//lint:maprange map-to-map copy
 	for k, v := range r.counters {
 		counters[k] = v
 	}
 	gauges := make(map[string]*Gauge, len(r.gauges))
+	//lint:maprange map-to-map copy
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
 	hists := make(map[string]*Histogram, len(r.hists))
+	//lint:maprange map-to-map copy
 	for k, v := range r.hists {
 		hists[k] = v
 	}
 	spans := make(map[string]*spanNode, len(r.spans))
+	//lint:maprange map-to-map copy
 	for k, v := range r.spans {
 		spans[k] = v
 	}
 	r.mu.Unlock()
 
+	//lint:maprange map-to-map copy
 	for k, v := range counters {
 		s.Counters[k] = v.Value()
 	}
+	//lint:maprange map-to-map copy
 	for k, v := range gauges {
 		s.Gauges[k] = v.Value()
 	}
+	//lint:maprange map-to-map copy
 	for k, v := range hists {
 		s.Histograms[k] = v.stats()
 	}
+	//lint:maprange map-to-map copy
 	for k, v := range spans {
 		s.Spans[k] = v.stats()
 	}
@@ -134,6 +142,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
+	//lint:maprange order restored by the sort below
 	for k := range m {
 		keys = append(keys, k)
 	}

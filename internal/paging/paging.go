@@ -82,6 +82,7 @@ func Simulate(cfg Config, tr *memtrace.Trace) (Stats, error) {
 	evict := func() {
 		var victim uint32
 		var oldest uint64 = ^uint64(0)
+		//lint:maprange stamps are unique (one clock tick per touch), so the minimum is unique
 		for p, e := range resident {
 			if e.stamp < oldest {
 				oldest = e.stamp

@@ -115,6 +115,7 @@ type SiteCount struct {
 // descending weight (ties broken by site position for determinism).
 func (w *Weights) SitesByWeight(p *ir.Program) []SiteCount {
 	out := make([]SiteCount, 0, len(w.Sites))
+	//lint:maprange order restored by the sort below
 	for s, c := range w.Sites {
 		out = append(out, SiteCount{Site: s, Callee: p.Callee(s), Count: c})
 	}

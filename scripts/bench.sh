@@ -12,18 +12,21 @@
 #   BENCHTIME           go test -benchtime value (default 3x, so the
 #                       memoized steady state shows up after the cold
 #                       first iteration)
-#   OUT                 output file (default BENCH_PR2.json)
+#   OUT                 output file (default BENCH_PR5.json)
 #
 # The JSON maps each benchmark to its ns/op plus every custom metric
 # the benchmark reports (miss2K%, traffic2K%, ...), so performance and
-# correctness-bearing outputs are recorded side by side.
+# correctness-bearing outputs are recorded side by side. The default
+# pattern covers the table benchmarks plus the BenchmarkAnalyze pair,
+# which records the static analyzer's wall time next to the
+# trace-driven simulator's on the same layouts and geometry.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE="${IMPACT_BENCH_SCALE:-0.25}"
 BENCHTIME="${BENCHTIME:-3x}"
-PATTERN="${1:-^BenchmarkTable}"
-OUT="${OUT:-BENCH_PR2.json}"
+PATTERN="${1:-^Benchmark(Table|Analyze)}"
+OUT="${OUT:-BENCH_PR5.json}"
 
 raw=$(IMPACT_BENCH_SCALE="$SCALE" go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" .)
 printf '%s\n' "$raw"

@@ -1,5 +1,5 @@
 // Command lint is the repository's stdlib-only source linter, run in
-// CI next to gofmt and go vet. It enforces two local conventions:
+// CI next to gofmt and go vet. It enforces three local conventions:
 //
 //   - fmt.Print/Printf/Println are forbidden outside cmd/, examples/,
 //     scripts/, and test files: library packages report through
@@ -8,6 +8,12 @@
 //     carry a doc comment: the verifier is the repo's specification of
 //     pipeline invariants, and an undocumented invariant is no
 //     specification at all.
+//   - `for range` over a map is forbidden in non-test internal/ code
+//     unless the site sorts its keys or carries a
+//     //lint:maprange <reason> waiver declaring it order-insensitive:
+//     map iteration order is randomised, and silent nondeterminism in
+//     library code undermines the repo's reproducibility guarantees
+//     (see maprange.go).
 //
 // Usage: go run ./scripts/lint [root]  (root defaults to ".")
 package main
@@ -55,6 +61,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lint:", err)
 		os.Exit(1)
 	}
+	problems = append(problems, lintMapRange(root)...)
 	for _, p := range problems {
 		fmt.Println(p)
 	}

@@ -1,0 +1,224 @@
+package main
+
+// Rule 3: `for range` over a map in non-test internal/ code. Map
+// iteration order is randomised by the runtime, and this repo's whole
+// premise is reproducibility — layouts, traces, and miss counts must
+// be byte-identical across runs. A map range in library code is
+// therefore either a latent nondeterminism bug or a deliberately
+// order-insensitive reduction; the rule forces each site to declare
+// which, by sorting keys or carrying a waiver comment
+//
+//	//lint:maprange <reason>
+//
+// on the statement's line or the line above.
+//
+// The rule needs real types (an ident's map-ness is invisible to pure
+// syntax), so it type-checks every internal/ package with the stdlib
+// go/types checker. Intra-repo imports are resolved by checking the
+// packages in dependency order; imports outside the module (stdlib)
+// are served as empty placeholder packages, and the resulting
+// "undeclared name" errors are swallowed — map types declared in repo
+// code still resolve, which is all the rule asks about.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// lintPkg is one internal/ package's non-test sources.
+type lintPkg struct {
+	path  string // import path, e.g. impact/internal/layout
+	files []*ast.File
+	rels  []string // root-relative slash path per file
+	deps  []string // intra-repo import paths
+}
+
+// lintMapRange runs rule 3 over every non-test package under
+// root/internal and returns the problems found.
+func lintMapRange(root string) []string {
+	module, err := moduleName(root)
+	if err != nil {
+		return []string{fmt.Sprintf("go.mod: %v", err)}
+	}
+	fset := token.NewFileSet()
+	pkgs, err := loadInternalPackages(root, module, fset)
+	if err != nil {
+		return []string{fmt.Sprintf("lint: maprange: %v", err)}
+	}
+
+	im := &placeholderImporter{checked: map[string]*types.Package{}}
+	var problems []string
+	for _, ip := range topoOrder(pkgs) {
+		p := pkgs[ip]
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		conf := types.Config{
+			Importer: im,
+			// Placeholder stdlib packages make unresolved-name errors
+			// inevitable; drop them. Repo-declared types still check.
+			Error: func(error) {},
+		}
+		tp, _ := conf.Check(ip, fset, p.files, info)
+		if tp != nil {
+			im.checked[ip] = tp
+		}
+		for i, f := range p.files {
+			waived := waiverLines(fset, f)
+			rel := p.rels[i]
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				line := fset.Position(rs.Pos()).Line
+				if waived[line] || waived[line-1] {
+					return true
+				}
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: range over map: iteration order is nondeterministic; sort the keys or waive with //lint:maprange <reason>", rel, line))
+				return true
+			})
+		}
+	}
+	return problems
+}
+
+// moduleName reads the module path from root/go.mod.
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive")
+}
+
+// loadInternalPackages parses every non-test .go file under
+// root/internal into fset, grouped by package directory.
+func loadInternalPackages(root, module string, fset *token.FileSet) (map[string]*lintPkg, error) {
+	pkgs := map[string]*lintPkg{}
+	base := filepath.Join(root, "internal")
+	err := filepath.WalkDir(base, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %v", rel, err)
+		}
+		ip := module + "/" + path.Dir(rel)
+		lp := pkgs[ip]
+		if lp == nil {
+			lp = &lintPkg{path: ip}
+			pkgs[ip] = lp
+		}
+		lp.files = append(lp.files, f)
+		lp.rels = append(lp.rels, rel)
+		for _, imp := range f.Imports {
+			v := strings.Trim(imp.Path.Value, `"`)
+			if strings.HasPrefix(v, module+"/") {
+				lp.deps = append(lp.deps, v)
+			}
+		}
+		return nil
+	})
+	return pkgs, err
+}
+
+// topoOrder returns the package import paths in dependency order
+// (dependencies first), deterministically.
+func topoOrder(pkgs map[string]*lintPkg) []string {
+	paths := make([]string, 0, len(pkgs))
+	//lint:maprange order restored by the sort below
+	for ip := range pkgs {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	var order []string
+	done := map[string]bool{}
+	var visit func(string)
+	visit = func(ip string) {
+		if done[ip] || pkgs[ip] == nil {
+			return
+		}
+		done[ip] = true // Go forbids import cycles, so no cycle check
+		deps := append([]string(nil), pkgs[ip].deps...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			visit(d)
+		}
+		order = append(order, ip)
+	}
+	for _, ip := range paths {
+		visit(ip)
+	}
+	return order
+}
+
+// waiverLines maps line numbers carrying a //lint:maprange waiver.
+func waiverLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			txt := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(txt, "lint:maprange"); ok && strings.TrimSpace(rest) != "" {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// placeholderImporter serves already-checked intra-repo packages and
+// empty placeholders for everything else (stdlib).
+type placeholderImporter struct {
+	checked map[string]*types.Package
+}
+
+// Import implements types.Importer.
+func (im *placeholderImporter) Import(p string) (*types.Package, error) {
+	if tp, ok := im.checked[p]; ok {
+		return tp, nil
+	}
+	tp := types.NewPackage(p, path.Base(p))
+	tp.MarkComplete()
+	im.checked[p] = tp
+	return tp, nil
+}
