@@ -5,7 +5,8 @@
 // Usage:
 //
 //	icexp [-scale 1.0] [-tables 1,2,3,...] [-ablations] [-extensions]
-//	      [-analyze] [-check off|warn|strict] [-v] [-metrics-out m.json]
+//	      [-analyze] [-report] [-check off|warn|strict] [-v]
+//	      [-metrics-out m.json] [-trace-out t.json]
 //	      [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // -scale multiplies the dynamic trace lengths (1.0 reproduces the
@@ -39,6 +40,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies (A1-A3, A5, A6; A4 is bench-only)")
 	extensions := flag.Bool("extensions", false, "also run the extension experiments (E1 timing, E2 paging, E3 prefetch, E4 hierarchy, E5 extended suite)")
 	analyze := flag.Bool("analyze", false, "also run the static must/may analyzer and check its bounds against the simulator")
+	report := flag.Bool("report", false, "also print each benchmark's per-stage locality ledger")
 	checkMode := flag.String("check", "off", "pipeline verification mode: off, warn, or strict")
 	common := cliutil.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -58,9 +60,10 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "preparing benchmark suite (scale %.2f)...\n", *scale)
 	suite, err := experiments.PrepareWith(*scale, experiments.Options{
-		Obs:   common.Registry,
-		Log:   slog.Default(),
-		Check: mode,
+		Obs:    common.Registry,
+		Log:    slog.Default(),
+		Check:  mode,
+		Ledger: *report,
 		Progress: func(p experiments.Progress) {
 			fmt.Fprintf(os.Stderr, "  [%2d/%d] %-10s prepared in %v\n",
 				p.Done, p.Total, p.Benchmark, p.Elapsed.Round(time.Millisecond))
@@ -220,6 +223,11 @@ func main() {
 				return "", err
 			}
 			return experiments.RenderExtExtendedSuite(e), nil
+		})
+	}
+	if *report {
+		emit("ledger", func() (string, error) {
+			return experiments.RenderLedgers(suite), nil
 		})
 	}
 	if *analyze {

@@ -63,7 +63,9 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
+	sp := common.Registry.Span("icsim/load")
 	tr, err := memtrace.Read(f)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -80,11 +82,17 @@ func main() {
 		fatal(err)
 	}
 	if sizeList != nil {
+		sp := common.Registry.Span("icsim/sweep")
+		sp.SetAttrInt("sizes", int64(len(sizeList)))
 		sweepSizes(cfg, tr, sizeList, *tracePath)
+		sp.End()
 		common.MustClose()
 		return
 	}
+	sp = common.Registry.Span("icsim/simulate")
+	sp.SetAttr("cache", cfg.String())
 	stats, err := cache.Simulate(cfg, tr)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}

@@ -34,10 +34,12 @@
 //	    Write the benchmark program in the textual IR format
 //	    (optionally after inline expansion).
 //
-//	impact run -ir <file> [-seeds 1,2,3,4] [-eval 99] [cache flags]
+//	impact run -ir <file> [-seeds 1,2,3,4] [-eval 99] [-report] [cache flags]
 //	    Run the whole pipeline on a user-supplied program in the
 //	    textual IR format (see docs/FORMATS.md) and compare the
-//	    optimized layout against the natural baseline.
+//	    optimized layout against the natural baseline. -report adds
+//	    the per-stage locality ledger. Add -trace-out to capture the
+//	    run's execution timeline.
 package main
 
 import (
@@ -55,6 +57,7 @@ import (
 	"impact/internal/check"
 	"impact/internal/cliutil"
 	"impact/internal/core"
+	"impact/internal/experiments"
 	"impact/internal/interp"
 	"impact/internal/ir"
 	"impact/internal/layout"
@@ -458,6 +461,7 @@ func cmdRun(args []string) {
 	seedsArg := fs.String("seeds", "1,2,3,4", "comma-separated profiling seeds")
 	evalSeed := fs.Uint64("eval", 99, "evaluation input seed")
 	maxSteps := fs.Uint64("maxsteps", 50_000_000, "per-run instruction cap")
+	report := fs.Bool("report", false, "print the per-stage locality ledger")
 	cf := cliutil.AddCacheFlags(fs)
 	common := startCommon(fs, args)
 	defer common.MustClose()
@@ -487,6 +491,7 @@ func cmdRun(args []string) {
 	cfg := core.DefaultConfig(seeds...)
 	cfg.Interp = interp.Config{MaxSteps: *maxSteps}
 	cfg.Obs = common.Registry
+	cfg.Ledger = *report
 	res, err := core.Optimize(prog, cfg)
 	if err != nil {
 		fatal(err)
@@ -512,18 +517,27 @@ func cmdRun(args []string) {
 		fatal(err)
 	}
 
+	// Both layouts simulate through the sweep engine's worker pool, so
+	// they run concurrently and land on separate timeline lanes
+	// (sweep-worker-N) in the -trace-out timeline.
 	ccfg := cf.Config()
-	so, err := cache.Simulate(ccfg, optTr)
+	eng := experiments.NewEngine()
+	eng.AttachObs(common.Registry)
+	stats, err := eng.Batch([]experiments.SimRequest{
+		{Trace: optTr, Config: ccfg},
+		{Trace: natTr, Config: ccfg},
+	})
 	if err != nil {
 		fatal(err)
 	}
-	sn, err := cache.Simulate(ccfg, natTr)
-	if err != nil {
-		fatal(err)
-	}
+	so, sn := stats[0], stats[1]
 	t := texttable.New(fmt.Sprintf("%s on %s (%d fetches)", *irPath, ccfg, optTr.Instrs),
 		"layout", "miss", "traffic")
 	t.Row("optimized", texttable.Pct3(so.MissRatio()), texttable.Pct(so.TrafficRatio()))
 	t.Row("natural", texttable.Pct3(sn.MissRatio()), texttable.Pct(sn.TrafficRatio()))
 	fmt.Print(t.String())
+	if *report {
+		fmt.Println()
+		fmt.Print(core.RenderLedger(res.Ledger))
+	}
 }

@@ -49,8 +49,11 @@ type Config struct {
 	// many pressured sets to keep, lines per set, and function pairs.
 	// Zero means 8 / 4 / 8.
 	TopSets, TopLines, TopPairs int
-	// Obs, when non-nil, receives analysis.* counters.
+	// Obs, when non-nil, receives analysis.* counters and spans.
 	Obs *obs.Registry
+	// Lane attributes the analysis spans to one tracer lane; zero is
+	// the main lane.
+	Lane obs.Lane
 }
 
 // Result is the complete static analysis of one layout under one
@@ -113,22 +116,41 @@ func Analyze(lay *layout.Layout, w *profile.Weights, cfg Config) (*Result, error
 		cfg.TopPairs = 8
 	}
 
+	reg := cfg.Obs
+	root := reg.SpanOn(cfg.Lane, "analysis")
+	defer root.End()
+
+	sp := root.Span("supergraph")
 	sg := buildSupergraph(lay, w)
 	g := newGeom(cfg.Cache, lay.Total)
+	sp.End()
+	sp = root.Span("fixpoint")
 	fx := g.fixpoint(sg)
+	sp.End()
+	sp = root.Span("classify")
 	bounds, perFunc := classify(sg, g, fx, p, w)
+	sp.End()
+
+	sp = root.Span("score")
+	score := scoreLayout(lay, w)
+	sp.End()
+	sp = root.Span("conflict")
+	conflicts := conflictReport(sg, g, p, cfg.TopSets, cfg.TopLines, cfg.TopPairs)
+	sp.End()
 
 	res := &Result{
 		Cache:      cfg.Cache,
-		Score:      scoreLayout(lay, w),
-		Conflicts:  conflictReport(sg, g, p, cfg.TopSets, cfg.TopLines, cfg.TopPairs),
+		Score:      score,
+		Conflicts:  conflicts,
 		Bounds:     bounds,
 		PerFunc:    perFunc,
 		Regions:    len(sg.regions),
 		Iterations: fx.iterations,
 	}
 
-	reg := cfg.Obs
+	root.SetAttr("cache", cfg.Cache.String())
+	root.SetAttrInt("regions", int64(res.Regions))
+	root.SetAttrInt("iterations", int64(res.Iterations))
 	reg.Counter("analysis.runs").Inc()
 	reg.Counter("analysis.regions").Add(uint64(res.Regions))
 	reg.Counter("analysis.iterations").Add(uint64(res.Iterations))

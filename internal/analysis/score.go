@@ -62,6 +62,14 @@ func extTSPFactor(srcEnd, dst uint32) float64 {
 	return 0
 }
 
+// ScoreLayout scores lay under the profile w without running the full
+// must/may analysis — the cheap geometry-independent slice of Analyze,
+// used by the per-stage locality ledger (core.Ledger) to price each
+// pipeline stage's contribution.
+func ScoreLayout(lay *layout.Layout, w *profile.Weights) Score {
+	return scoreLayout(lay, w)
+}
+
 // scoreLayout scores every profiled control transfer of the laid-out
 // program: each intra-function arc from the end of its source block to
 // its target block, and each call from the instruction after the call

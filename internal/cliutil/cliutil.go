@@ -3,6 +3,7 @@
 //
 //	-v                  structured (log/slog) debug logging to stderr
 //	-metrics-out FILE   write an obs JSON snapshot on exit
+//	-trace-out FILE     write a Chrome trace-event timeline on exit
 //	-cpuprofile FILE    write a pprof CPU profile
 //	-memprofile FILE    write a pprof heap profile on exit
 //
@@ -31,6 +32,7 @@ import (
 type Common struct {
 	Verbose    bool
 	MetricsOut string
+	TraceOut   string
 	CPUProfile string
 	MemProfile string
 
@@ -46,6 +48,7 @@ func AddFlags(fs *flag.FlagSet) *Common {
 	c := &Common{}
 	fs.BoolVar(&c.Verbose, "v", false, "verbose structured logging to stderr")
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write metrics JSON snapshot to `file` on exit")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write Chrome trace-event timeline JSON to `file` on exit (load in Perfetto)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write pprof CPU profile to `file`")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write pprof heap profile to `file` on exit")
 	return c
@@ -64,6 +67,11 @@ func (c *Common) Start(tool string) error {
 
 	c.Registry = obs.NewRegistry()
 	cache.AttachObs(c.Registry)
+	if c.TraceOut != "" {
+		// The flight recorder only records (and only costs anything)
+		// when a timeline was asked for.
+		c.Registry.AttachTracer(obs.NewTracer(obs.DefaultTraceCapacity))
+	}
 
 	if c.CPUProfile != "" {
 		f, err := os.Create(c.CPUProfile)
@@ -104,6 +112,24 @@ func (c *Common) Close() error {
 		if err := f.Close(); err != nil {
 			return fmt.Errorf("%s: -memprofile: %w", c.tool, err)
 		}
+	}
+	if c.TraceOut != "" {
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			return fmt.Errorf("%s: -trace-out: %w", c.tool, err)
+		}
+		tr := c.Registry.Tracer()
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: -trace-out: %w", c.tool, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("%s: -trace-out: %w", c.tool, err)
+		}
+		if n := tr.Dropped(); n > 0 {
+			slog.Warn("trace ring buffer wrapped; oldest events dropped", "dropped", n)
+		}
+		slog.Debug("trace written", "file", c.TraceOut)
 	}
 	if c.MetricsOut != "" {
 		f, err := os.Create(c.MetricsOut)

@@ -88,6 +88,15 @@ type Config struct {
 	// pipeline/globallayout, pipeline/compose) and work counters; nil
 	// disables all instrumentation (see docs/OBSERVABILITY.md).
 	Obs *obs.Registry
+	// Lane attributes this run's timeline events to one tracer lane
+	// (obs.Tracer); zero is the main lane. Set by the experiment
+	// engine's workers so concurrent pipeline runs land on separate
+	// timeline rows.
+	Lane obs.Lane
+	// Ledger enables the per-stage locality ledger: after each
+	// pipeline stage the layout is scored (analysis.ScoreLayout) and a
+	// StageSnapshot recorded in Result.Ledger.
+	Ledger bool
 }
 
 // DefaultConfig returns the paper's configuration with the given
@@ -136,6 +145,10 @@ type Result struct {
 	// Analysis holds the static cache-behavior analysis of the final
 	// layout (nil unless Config.Analysis was set).
 	Analysis *analysis.Result
+
+	// Ledger holds the per-stage locality ledger (nil unless
+	// Config.Ledger was set).
+	Ledger *Ledger
 }
 
 // Optimize runs the configured pipeline steps on p.
@@ -151,9 +164,14 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 	}
 	profCfg := profile.Config{Seeds: cfg.ProfileSeeds, Interp: cfg.Interp, Obs: cfg.Obs}
 
-	pipe := cfg.Obs.Span("pipeline")
+	pipe := cfg.Obs.SpanOn(cfg.Lane, "pipeline")
 	defer pipe.End()
 	cfg.Obs.Counter("pipeline.runs").Inc()
+
+	var led *Ledger
+	if cfg.Ledger {
+		led = &Ledger{}
+	}
 
 	// Pipeline verification (internal/check): each stage hands the
 	// verifier a Unit snapshot; in Strict mode an error-severity
@@ -188,6 +206,7 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 	if err := verify(&check.Unit{Stage: check.StageInput, Prog: p, Weights: origW}); err != nil {
 		return nil, err
 	}
+	led.capture("input", layout.Natural(p), origW)
 
 	// Step 2: function inline expansion.
 	prog := p
@@ -217,6 +236,12 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 		}
 	}
 
+	// After inlining the program still has its natural layout; the
+	// ledger row prices the code growth and the locality of the
+	// re-measured profile before any reordering. When inlining is
+	// disabled the row repeats "input" (zero delta).
+	led.capture("inline", layout.Natural(prog), w)
+
 	res := &Result{
 		Prog:         prog,
 		Weights:      w,
@@ -224,6 +249,7 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 		InlineReport: inlineRep,
 		TotalBytes:   prog.Bytes(),
 		Checks:       checks,
+		Ledger:       led,
 	}
 
 	// Step 3: trace selection. (Step 4 consumes only its own
@@ -253,6 +279,13 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 	}); err != nil {
 		return nil, err
 	}
+	if led != nil {
+		lay, err := layout.FromPlacement(prog, traceSelectionPlacement(prog, res.Traces))
+		if err != nil {
+			return nil, fmt.Errorf("core: ledger traceselect layout: %w", err)
+		}
+		led.capture("traceselect", lay, w)
+	}
 
 	// Step 4: function body layout.
 	sp = pipe.Span("funclayout")
@@ -273,6 +306,19 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 	}
 	sp.End()
 	cfg.Obs.Counter("pipeline.funclayout.blocks_moved").Add(uint64(blocksMoved))
+	if led != nil {
+		var pl layout.Placement
+		for _, f := range prog.Funcs {
+			for _, b := range res.Orders[f.ID].Blocks {
+				pl.Order = append(pl.Order, layout.BlockRef{F: f.ID, B: b})
+			}
+		}
+		lay, err := layout.FromPlacement(prog, pl)
+		if err != nil {
+			return nil, fmt.Errorf("core: ledger funclayout layout: %w", err)
+		}
+		led.capture("funclayout", lay, w)
+	}
 
 	// Step 5: global layout.
 	sp = pipe.Span("globallayout")
@@ -329,6 +375,7 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: composing layout: %w", err)
 	}
 	cfg.Obs.Counter("pipeline.compose.blocks_placed").Add(uint64(len(pl.Order)))
+	led.capture("globallayout", res.Layout, w)
 	if err := verify(&check.Unit{
 		Stage: check.StageLayout, Prog: prog, Weights: w,
 		Traces: res.Traces, MinProb: cfg.MinProb,
@@ -344,6 +391,9 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 		acfg := *cfg.Analysis
 		if acfg.Obs == nil {
 			acfg.Obs = cfg.Obs
+		}
+		if acfg.Lane == 0 {
+			acfg.Lane = cfg.Lane
 		}
 		sp = pipe.Span("analysis")
 		res.Analysis, err = analysis.Analyze(res.Layout, w, acfg)

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"impact/internal/analysis"
+	"impact/internal/core/traceselect"
+	"impact/internal/ir"
+	"impact/internal/layout"
+	"impact/internal/profile"
+	"impact/internal/texttable"
+)
+
+// The per-stage locality ledger is the reproduction's own Tables 2-5,
+// computed live: after each pipeline stage it snapshots cheap IR and
+// layout statistics — function/block counts, static code size, the
+// weighted fall-through ratio, and the ext-TSP locality score
+// (internal/analysis/score.go) — so a run shows exactly where
+// instruction locality was won or paid for, stage by stage. Scoring a
+// stage costs one pass over the profiled control transfers; no trace
+// is decoded and no cache is simulated.
+
+// StageSnapshot is the ledger row recorded after one pipeline stage.
+type StageSnapshot struct {
+	// Stage names the pipeline stage this row was captured after:
+	// input, inline, traceselect, funclayout, globallayout.
+	Stage string `json:"stage"`
+	// Funcs and Blocks count the program's functions and basic blocks.
+	Funcs  int `json:"funcs"`
+	Blocks int `json:"blocks"`
+	// Bytes is the static code size (instruction-count growth shows up
+	// here: inlining is the only stage that changes it).
+	Bytes int `json:"bytes"`
+	// TotalWeight is the summed weight of all scored control
+	// transfers under the stage's profile.
+	TotalWeight uint64 `json:"total_weight"`
+	// FallThrough is the weighted fall-through ratio of the stage's
+	// layout: the fraction of transfer weight whose target is the next
+	// sequential address.
+	FallThrough float64 `json:"fall_through"`
+	// ExtTSP is the weighted ext-TSP locality score in [0, 1] of the
+	// stage's layout.
+	ExtTSP float64 `json:"ext_tsp"`
+}
+
+// Ledger is the ordered list of per-stage snapshots of one pipeline
+// run (Config.Ledger; surfaced as `impact run -report` and
+// `icexp -report`).
+type Ledger struct {
+	Stages []StageSnapshot `json:"stages"`
+}
+
+// capture appends one stage row scored from the given layout and
+// profile. No-op on a nil ledger, so call sites need no guards.
+func (l *Ledger) capture(stage string, lay *layout.Layout, w *profile.Weights) {
+	if l == nil {
+		return
+	}
+	p := lay.Program()
+	s := analysis.ScoreLayout(lay, w)
+	l.Stages = append(l.Stages, StageSnapshot{
+		Stage:       stage,
+		Funcs:       len(p.Funcs),
+		Blocks:      p.NumBlocks(),
+		Bytes:       p.Bytes(),
+		TotalWeight: s.TotalWeight,
+		FallThrough: s.FallThroughRatio(),
+		ExtTSP:      s.ExtTSP,
+	})
+}
+
+// Stage returns the named snapshot, or nil.
+func (l *Ledger) Stage(name string) *StageSnapshot {
+	if l == nil {
+		return nil
+	}
+	for i := range l.Stages {
+		if l.Stages[i].Stage == name {
+			return &l.Stages[i]
+		}
+	}
+	return nil
+}
+
+// traceSelectionPlacement orders every function's blocks by trace
+// membership (traces in selection order, blocks in trace order) with
+// functions in declaration order — the layout the program would have
+// immediately after trace selection, before the intra-function
+// effective split and the global reordering.
+func traceSelectionPlacement(p *ir.Program, traces []traceselect.Result) layout.Placement {
+	var pl layout.Placement
+	for _, f := range p.Funcs {
+		for _, tr := range traces[f.ID].Traces {
+			for _, b := range tr.Blocks {
+				pl.Order = append(pl.Order, layout.BlockRef{F: f.ID, B: b})
+			}
+		}
+	}
+	return pl
+}
+
+// RenderLedger renders the ledger as a stage-by-stage delta table:
+// absolute fall-through/ext-TSP per stage plus the delta each stage
+// contributed over the previous one, and the code-size growth.
+func RenderLedger(l *Ledger) string {
+	if l == nil || len(l.Stages) == 0 {
+		return "(no stage ledger; run with Config.Ledger enabled)\n"
+	}
+	t := texttable.New("Per-stage locality ledger",
+		"stage", "funcs", "blocks", "bytes", "Δbytes", "fall-thru", "Δft", "ext-tsp", "Δtsp")
+	for i, s := range l.Stages {
+		dBytes, dFT, dTSP := "", "", ""
+		if i > 0 {
+			prev := l.Stages[i-1]
+			if prev.Bytes > 0 {
+				dBytes = fmt.Sprintf("%+.1f%%", 100*float64(s.Bytes-prev.Bytes)/float64(prev.Bytes))
+			}
+			dFT = fmt.Sprintf("%+.3f", s.FallThrough-prev.FallThrough)
+			dTSP = fmt.Sprintf("%+.3f", s.ExtTSP-prev.ExtTSP)
+		}
+		t.Row(s.Stage, s.Funcs, s.Blocks, s.Bytes, dBytes,
+			fmt.Sprintf("%.3f", s.FallThrough), dFT,
+			fmt.Sprintf("%.3f", s.ExtTSP), dTSP)
+	}
+	return t.String()
+}

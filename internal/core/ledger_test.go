@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"impact/internal/analysis"
+	"impact/internal/layout"
+)
+
+// TestLedgerStages runs the full pipeline with the ledger enabled and
+// checks that the snapshots are complete, internally consistent, and
+// that the final stage agrees with analysis.ScoreLayout on the final
+// layout — the consistency property the -report flag advertises.
+func TestLedgerStages(t *testing.T) {
+	p := testProgram(t)
+	cfg := DefaultConfig(1, 2)
+	cfg.Ledger = true
+	res, err := Optimize(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := res.Ledger
+	if led == nil {
+		t.Fatal("Config.Ledger set but Result.Ledger is nil")
+	}
+
+	want := []string{"input", "inline", "traceselect", "funclayout", "globallayout"}
+	if len(led.Stages) != len(want) {
+		t.Fatalf("ledger has %d stages, want %d: %+v", len(led.Stages), len(want), led.Stages)
+	}
+	for i, name := range want {
+		if led.Stages[i].Stage != name {
+			t.Errorf("stage[%d] = %q, want %q", i, led.Stages[i].Stage, name)
+		}
+	}
+
+	// Inlining grows the code; later stages only reorder it.
+	in, inl := led.Stage("input"), led.Stage("inline")
+	if inl.Bytes <= in.Bytes {
+		t.Errorf("inline bytes %d not > input bytes %d", inl.Bytes, in.Bytes)
+	}
+	for _, name := range []string{"traceselect", "funclayout", "globallayout"} {
+		if s := led.Stage(name); s.Bytes != inl.Bytes {
+			t.Errorf("%s bytes = %d, want %d (reordering must not change size)", name, s.Bytes, inl.Bytes)
+		}
+		if s := led.Stage(name); s.Funcs != inl.Funcs || s.Blocks != inl.Blocks {
+			t.Errorf("%s funcs/blocks = %d/%d, want %d/%d", name, s.Funcs, s.Blocks, inl.Funcs, inl.Blocks)
+		}
+	}
+
+	// Every stage after traceselect scores under the same (post-inline)
+	// profile, so TotalWeight is constant across them.
+	for _, name := range []string{"traceselect", "funclayout", "globallayout"} {
+		if s := led.Stage(name); s.TotalWeight != inl.TotalWeight {
+			t.Errorf("%s total weight = %d, want %d", name, s.TotalWeight, inl.TotalWeight)
+		}
+	}
+
+	// The final row must agree exactly with an independent scoring of
+	// the final layout.
+	got := led.Stage("globallayout")
+	sc := analysis.ScoreLayout(res.Layout, res.Weights)
+	if got.FallThrough != sc.FallThroughRatio() || got.ExtTSP != sc.ExtTSP || got.TotalWeight != sc.TotalWeight {
+		t.Errorf("globallayout row %+v disagrees with ScoreLayout %+v", got, sc)
+	}
+
+	// The pipeline exists to improve locality: the final layout must
+	// not score worse than the natural layout of the same program.
+	natural := analysis.ScoreLayout(layout.Natural(res.Prog), res.Weights)
+	if got.ExtTSP < natural.ExtTSP {
+		t.Errorf("final ext-TSP %.4f worse than natural %.4f", got.ExtTSP, natural.ExtTSP)
+	}
+
+	out := RenderLedger(led)
+	for _, want := range []string{"Per-stage locality ledger", "input", "globallayout", "Δtsp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered ledger missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLedgerDisabled pins that the ledger is pay-for-what-you-use:
+// without Config.Ledger the result carries none.
+func TestLedgerDisabled(t *testing.T) {
+	res, err := Optimize(testProgram(t), DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger != nil {
+		t.Fatalf("Result.Ledger = %+v without Config.Ledger", res.Ledger)
+	}
+	if got := RenderLedger(nil); !strings.Contains(got, "no stage ledger") {
+		t.Errorf("RenderLedger(nil) = %q", got)
+	}
+}

@@ -145,6 +145,10 @@ type Options struct {
 	// Check selects pipeline verification (internal/check) for every
 	// pipeline run; the zero value is check.Off.
 	Check check.Mode
+	// Ledger enables the per-stage locality ledger (core.Ledger) on
+	// every benchmark's main pipeline run; each Prepared.Opt then
+	// carries its stage snapshots.
+	Ledger bool
 }
 
 func (o Options) logger() *slog.Logger {
@@ -192,34 +196,58 @@ func PrepareBenchmarksWith(benchmarks []*workload.Benchmark, opts Options) (*Sui
 	items := make([]*Prepared, len(benchmarks))
 	errs := make([]error, len(benchmarks))
 	workers := runtime.GOMAXPROCS(0)
-	sem := make(chan struct{}, workers)
+	if workers < 2 {
+		// Two workers even on one core: preparation interleaves
+		// harmlessly and the timeline keeps its parallel structure.
+		workers = 2
+	}
+	if workers > len(benchmarks) {
+		workers = len(benchmarks)
+	}
 	start := time.Now()
 	var busyNS atomic.Int64
 	var done atomic.Int64
 	var progressMu sync.Mutex
 	var wg sync.WaitGroup
-	for i, b := range benchmarks {
-		wg.Add(1)
-		go func(i int, b *workload.Benchmark) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			bStart := time.Now()
-			items[i], errs[i] = prepareOne(b, opts)
-			elapsed := time.Since(bStart)
-			busyNS.Add(int64(elapsed))
-			n := int(done.Add(1))
-			opts.Obs.Histogram("prepare.benchmark").Observe(elapsed)
-			opts.Obs.Gauge("prepare." + b.Name() + ".seconds").Set(elapsed.Seconds())
-			opts.logger().Debug("benchmark prepared",
-				"benchmark", b.Name(), "elapsed", elapsed, "done", n, "total", len(benchmarks))
-			if opts.Progress != nil {
-				progressMu.Lock()
-				opts.Progress(Progress{Done: n, Total: len(benchmarks), Benchmark: b.Name(), Elapsed: elapsed})
-				progressMu.Unlock()
-			}
-		}(i, b)
+	// A fixed channel-fed pool rather than goroutine-per-benchmark:
+	// each worker owns one timeline lane ("prepare-worker-N"), so the
+	// trace shows benchmark preparation as parallel rows.
+	type job struct {
+		i int
+		b *workload.Benchmark
 	}
+	jobs := make(chan job)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			lane := opts.Obs.NewLane(fmt.Sprintf("prepare-worker-%d", wkr))
+			for j := range jobs {
+				i, b := j.i, j.b
+				sp := opts.Obs.SpanOn(lane, "prepare/benchmark")
+				sp.SetAttr("benchmark", b.Name())
+				bStart := time.Now()
+				items[i], errs[i] = prepareOne(b, opts, lane)
+				elapsed := time.Since(bStart)
+				sp.End()
+				busyNS.Add(int64(elapsed))
+				n := int(done.Add(1))
+				opts.Obs.Histogram("prepare.benchmark").Observe(elapsed)
+				opts.Obs.Gauge("prepare." + b.Name() + ".seconds").Set(elapsed.Seconds())
+				opts.logger().Debug("benchmark prepared",
+					"benchmark", b.Name(), "elapsed", elapsed, "done", n, "total", len(benchmarks))
+				if opts.Progress != nil {
+					progressMu.Lock()
+					opts.Progress(Progress{Done: n, Total: len(benchmarks), Benchmark: b.Name(), Elapsed: elapsed})
+					progressMu.Unlock()
+				}
+			}
+		}(wkr)
+	}
+	for i, b := range benchmarks {
+		jobs <- job{i: i, b: b}
+	}
+	close(jobs)
 	wg.Wait()
 	wall := time.Since(start)
 	if n := len(benchmarks); n > 0 && wall > 0 {
@@ -238,11 +266,13 @@ func PrepareBenchmarksWith(benchmarks []*workload.Benchmark, opts Options) (*Sui
 	return &Suite{Items: items}, nil
 }
 
-func prepareOne(b *workload.Benchmark, opts Options) (*Prepared, error) {
+func prepareOne(b *workload.Benchmark, opts Options, lane obs.Lane) (*Prepared, error) {
 	cfg := core.DefaultConfig(b.ProfileSeeds...)
 	cfg.Interp = b.InterpConfig()
 	cfg.Obs = opts.Obs
 	cfg.Check = opts.Check
+	cfg.Lane = lane
+	cfg.Ledger = opts.Ledger
 	res, err := core.Optimize(b.Prog, cfg)
 	if err != nil {
 		return nil, err
@@ -252,7 +282,7 @@ func prepareOne(b *workload.Benchmark, opts Options) (*Prepared, error) {
 			"benchmark", b.Name(),
 			"errors", res.Checks.Errors(), "warnings", res.Checks.Warnings())
 	}
-	sp := opts.Obs.Span("evaltrace")
+	sp := opts.Obs.SpanOn(lane, "evaltrace")
 	tStart := time.Now()
 	optTr, optRun, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
 	if err != nil {

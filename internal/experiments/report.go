@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"strings"
+
+	"impact/internal/core"
+)
+
+// RenderLedgers renders every prepared benchmark's per-stage locality
+// ledger (populated when the suite was prepared with Options.Ledger;
+// benchmarks prepared without it render the ledger's "not enabled"
+// placeholder).
+func RenderLedgers(s *Suite) string {
+	var sb strings.Builder
+	for i, p := range s.Items {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString("benchmark " + p.Name() + "\n")
+		sb.WriteString(core.RenderLedger(p.Opt.Ledger))
+	}
+	return sb.String()
+}

@@ -185,6 +185,7 @@ func (e *Engine) Batch(reqs []SimRequest) ([]cache.Stats, error) {
 	var sp *obs.Span
 	if o != nil {
 		sp = o.reg.Span("sweep/batch")
+		sp.SetAttrInt("requests", int64(len(reqs)))
 	}
 	defer sp.End()
 
@@ -227,6 +228,15 @@ func (e *Engine) Batch(reqs []SimRequest) ([]cache.Stats, error) {
 	if o != nil {
 		o.simsMemoized.Add(memoized + deduped)
 		o.simsRun.Add(uint64(len(pending)))
+		sp.SetAttrInt("memo_hits", int64(memoized+deduped))
+		sp.SetAttrInt("sims", int64(len(pending)))
+		if len(pending) == 0 {
+			// A fully-memoized batch leaves no task span behind; the
+			// instant event keeps the hit visible on the timeline.
+			o.reg.Emit(0, "sweep/memo",
+				obs.Attr{Key: "memo", Val: "hit"},
+				obs.Int64Attr("requests", int64(len(reqs))))
+		}
 	}
 	if len(pending) == 0 {
 		return out, nil
@@ -235,7 +245,7 @@ func (e *Engine) Batch(reqs []SimRequest) ([]cache.Stats, error) {
 	units := e.plan(pending)
 	results := make(map[simKey]cache.Stats, len(pending))
 	var resMu sync.Mutex
-	if err := runUnits(units, func(u workUnit) error {
+	if err := runUnits(o, units, func(u workUnit) error {
 		got, err := u.run()
 		if err != nil {
 			return err
@@ -352,24 +362,64 @@ func (u workUnit) run() ([]cache.Stats, error) {
 	return cache.MultiSimulate(cfgs, u.tr)
 }
 
-// runUnits executes the units on a worker pool bounded by GOMAXPROCS
-// and returns the first error.
-func runUnits(units []workUnit, do func(workUnit) error) error {
-	if len(units) == 1 {
-		return do(units[0])
+// runUnits executes the units on a fixed channel-fed worker pool
+// bounded by GOMAXPROCS and returns the first error. Each worker owns
+// one timeline lane ("sweep-worker-N", stable across batches because
+// tracer lanes dedupe by name), and every unit runs under a
+// "sweep/task" span on that lane carrying its kind and size — the
+// concurrency structure of a sweep is legible straight off the
+// timeline.
+func runUnits(o *sweepObs, units []workUnit, do func(workUnit) error) error {
+	if len(units) == 0 {
+		return nil
 	}
+	run := func(lane obs.Lane, u workUnit) error {
+		if o == nil {
+			return do(u)
+		}
+		sp := o.reg.SpanOn(lane, "sweep/task")
+		if u.stack {
+			sp.SetAttr("kind", "stack")
+		} else {
+			sp.SetAttr("kind", "replay")
+		}
+		sp.SetAttrInt("orgs", int64(len(u.keys)))
+		sp.SetAttrInt("trace_runs", int64(len(u.tr.Runs)))
+		err := do(u)
+		sp.End()
+		return err
+	}
+	// At least two workers when there is work for two: trace passes are
+	// independent and interleave harmlessly on one core, and the
+	// timeline then shows the sweep's parallel structure even on
+	// single-CPU machines.
 	workers := runtime.GOMAXPROCS(0)
-	sem := make(chan struct{}, workers)
-	errs := make([]error, len(units))
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	// Static round-robin assignment rather than a shared queue: units
+	// are few and coarse (whole trace passes), so balance barely
+	// suffers, and every worker is guaranteed a share — the timeline
+	// shows real parallel structure instead of one greedy lane.
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
-	for i, u := range units {
+	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)
-		go func(i int, u workUnit) {
+		go func(wkr int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs[i] = do(u)
-		}(i, u)
+			var lane obs.Lane
+			if o != nil {
+				lane = o.reg.NewLane(fmt.Sprintf("sweep-worker-%d", wkr))
+			}
+			for i := wkr; i < len(units); i += workers {
+				if err := run(lane, units[i]); err != nil && errs[wkr] == nil {
+					errs[wkr] = err
+				}
+			}
+		}(wkr)
 	}
 	wg.Wait()
 	for _, err := range errs {

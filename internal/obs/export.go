@@ -128,11 +128,12 @@ func (r *Registry) WriteText(w io.Writer) error {
 		b.WriteString("histograms:\n")
 		for _, k := range sortedKeys(s.Histograms) {
 			h := s.Histograms[k]
-			fmt.Fprintf(&b, "  %-36s n=%d mean=%v p50=%v p90=%v max=%v\n",
+			fmt.Fprintf(&b, "  %-36s n=%d mean=%v p50=%v p95=%v p99=%v max=%v\n",
 				k, h.Count,
 				time.Duration(h.MeanNS).Round(time.Microsecond),
 				time.Duration(h.P50NS).Round(time.Microsecond),
-				time.Duration(h.P90NS).Round(time.Microsecond),
+				time.Duration(h.P95NS).Round(time.Microsecond),
+				time.Duration(h.P99NS).Round(time.Microsecond),
 				time.Duration(h.MaxNS).Round(time.Microsecond))
 		}
 	}

@@ -67,7 +67,9 @@ func bucketIndex(ns int64) int {
 	return i
 }
 
-// HistogramStats is an exportable histogram summary.
+// HistogramStats is an exportable histogram summary. The quantiles
+// are bucket upper bounds: p50/p95/p99 are the reporting set
+// (docs/OBSERVABILITY.md); p90 is retained for older consumers.
 type HistogramStats struct {
 	Count  uint64   `json:"count"`
 	SumNS  int64    `json:"sum_ns"`
@@ -76,6 +78,7 @@ type HistogramStats struct {
 	MeanNS int64    `json:"mean_ns"`
 	P50NS  int64    `json:"p50_ns"`
 	P90NS  int64    `json:"p90_ns"`
+	P95NS  int64    `json:"p95_ns"`
 	P99NS  int64    `json:"p99_ns"`
 	Bucket []uint64 `json:"buckets,omitempty"`
 }
@@ -99,6 +102,7 @@ func (h *Histogram) stats() HistogramStats {
 	}
 	s.P50NS = quantile(s.Bucket, total, 0.50)
 	s.P90NS = quantile(s.Bucket, total, 0.90)
+	s.P95NS = quantile(s.Bucket, total, 0.95)
 	s.P99NS = quantile(s.Bucket, total, 0.99)
 	// Trim trailing empty buckets for compact output.
 	last := len(s.Bucket)

@@ -82,6 +82,10 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    map[string]*spanNode
+
+	// tracer, when non-nil, receives a timeline event from every span
+	// End and Emit call (see trace.go). Detached by default.
+	tracer atomic.Pointer[Tracer]
 }
 
 // NewRegistry returns an empty registry.
@@ -140,6 +144,37 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// AttachTracer routes timeline events from every span started after
+// this call to t. Pass nil to detach. No-op on a nil registry.
+func (r *Registry) AttachTracer(t *Tracer) {
+	if r == nil {
+		return
+	}
+	r.tracer.Store(t)
+}
+
+// Tracer returns the attached tracer (nil when none, or when r is
+// nil — and a nil *Tracer is itself a valid no-op).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.Load()
+}
+
+// NewLane registers (or finds) a named timeline lane on the attached
+// tracer. Returns the main lane when r is nil or no tracer is
+// attached, so call sites need no guards.
+func (r *Registry) NewLane(name string) Lane {
+	return r.Tracer().Lane(name)
+}
+
+// Emit records an instant timeline event on the given lane. No-op
+// without an attached tracer.
+func (r *Registry) Emit(lane Lane, name string, attrs ...Attr) {
+	r.Tracer().Emit(lane, name, attrs...)
 }
 
 // spanNode returns the accumulation node for a span path.

@@ -17,6 +17,11 @@ type spanNode struct {
 // concurrent goroutines — merge into one node accumulating count and
 // total duration.
 //
+// When a Tracer is attached to the registry, every span additionally
+// records one timeline event on its lane at End, carrying the span's
+// begin/end timestamps and any attributes set with SetAttr. Child
+// spans inherit their parent's lane.
+//
 // A Span handle is used by one goroutine (start it where you use it);
 // the underlying nodes are safe for concurrent accumulation.
 type Span struct {
@@ -24,24 +29,47 @@ type Span struct {
 	node  *spanNode
 	path  string
 	start time.Time
+	ended bool
+
+	// Tracing state: tr is resolved once at span start; t0 is the
+	// tracer-clock begin timestamp.
+	tr    *Tracer
+	lane  Lane
+	t0    int64
+	attrs []Attr
 }
 
-// Span begins a root span. Returns a no-op span when r is nil.
-func (r *Registry) Span(name string) *Span {
+// Span begins a root span on the main lane. Returns a no-op span when
+// r is nil.
+func (r *Registry) Span(name string) *Span { return r.SpanOn(0, name) }
+
+// SpanOn begins a root span on the given lane. Returns a no-op span
+// when r is nil.
+func (r *Registry) SpanOn(lane Lane, name string) *Span {
 	if r == nil {
 		return nil
 	}
-	return &Span{r: r, node: r.spanNode(name), path: name, start: time.Now()}
+	s := &Span{r: r, node: r.spanNode(name), path: name, start: time.Now(), lane: lane}
+	if t := r.tracer.Load(); t != nil {
+		s.tr = t
+		s.t0 = t.now()
+	}
+	return s
 }
 
-// Span begins a child span nested under s. Valid on a nil span (the
-// child is a no-op too), so call chains need no nil checks.
+// Span begins a child span nested under s, on s's lane. Valid on a nil
+// span (the child is a no-op too), so call chains need no nil checks.
 func (s *Span) Span(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	path := s.path + "/" + name
-	return &Span{r: s.r, node: s.r.spanNode(path), path: path, start: time.Now()}
+	c := &Span{r: s.r, node: s.r.spanNode(path), path: path, start: time.Now(), lane: s.lane}
+	if s.tr != nil {
+		c.tr = s.tr
+		c.t0 = s.tr.now()
+	}
+	return c
 }
 
 // Path returns the span's full slash-separated path ("" when nil).
@@ -52,16 +80,40 @@ func (s *Span) Path() string {
 	return s.path
 }
 
-// End records the elapsed time since the span started and returns it.
-// No-op (returning 0) on a nil span. A span must be ended at most
-// once.
+// SetAttr attaches a key/value attribute to the span's timeline event.
+// No-op on a nil span or when no tracer is attached (attributes exist
+// only in the timeline, not in the merged span statistics).
+func (s *Span) SetAttr(key, val string) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+}
+
+// SetAttrInt is SetAttr for integer values.
+func (s *Span) SetAttrInt(key string, v int64) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Int64Attr(key, v))
+}
+
+// End records the elapsed time since the span started and returns it,
+// and emits the span's timeline event if a tracer is attached. No-op
+// (returning 0) on a nil span. Ending a span more than once is a
+// no-op: only the first End records.
 func (s *Span) End() time.Duration {
-	if s == nil {
+	if s == nil || s.ended {
 		return 0
 	}
+	s.ended = true
 	d := time.Since(s.start)
 	s.node.count.Add(1)
 	s.node.total.Add(int64(d))
+	if s.tr != nil {
+		end := s.tr.now()
+		s.tr.emit(Event{Name: s.path, Lane: s.lane, Phase: 'X', Start: s.t0, Dur: end - s.t0, Attrs: s.attrs})
+	}
 	return d
 }
 

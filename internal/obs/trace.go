@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the flight-recorder tracing layer: timestamped begin/end
+// span events with lane (goroutine/worker) attribution and key/value
+// attributes, captured in sharded bounded ring buffers and exported as
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) or
+// a deterministic text timeline.
+//
+// The design constraints mirror the rest of obs:
+//
+//   - Zero cost when disabled: no tracer attached means span code pays
+//     one atomic pointer load at span start and nothing at all on the
+//     hot paths below spans (the simulator's per-word loop carries no
+//     tracing hooks whatsoever — see internal/cache/alloc_test.go).
+//   - Lock-free hot path when enabled: emitting an event is one atomic
+//     add to claim a ring slot, a slot write, and an atomic publish.
+//     Only lane registration takes a lock, once per lane.
+//   - Bounded memory: each shard is a fixed-capacity ring; once a
+//     shard wraps, the oldest events are overwritten (flight-recorder
+//     semantics) and Dropped reports how many were lost.
+//
+// Events carry a Lane — a timeline row named after the goroutine or
+// worker that produced the event ("main", "sweep-worker-3",
+// "prepare-worker-0"). Events of one lane are routed to one shard, so
+// per-lane ordering (and therefore per-lane timestamp monotonicity)
+// is preserved by construction.
+
+// TraceSchema identifies the Chrome trace-event JSON flavour emitted
+// by WriteChromeTrace (the "JSON Array Format" of the Trace Event
+// spec, which Perfetto and chrome://tracing both load).
+const TraceSchema = "impact.trace/v1"
+
+// DefaultTraceCapacity is the total event capacity of NewTracer(0),
+// split across shards.
+const DefaultTraceCapacity = 1 << 16
+
+// traceShards is the number of ring shards. Lanes map to shards by
+// lane % traceShards, keeping each lane's events in claim order.
+const traceShards = 8
+
+// Lane identifies one timeline row. Lane 0 is always "main". The zero
+// value is therefore a valid lane everywhere, which is what nil-safe
+// call sites produce.
+type Lane int32
+
+// Attr is one key/value event attribute.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Int64Attr renders an integer attribute.
+func Int64Attr(key string, v int64) Attr { return Attr{Key: key, Val: fmt.Sprintf("%d", v)} }
+
+// Event is one recorded trace event. Start and Dur are nanoseconds on
+// the tracer's clock (zero at tracer creation).
+type Event struct {
+	// Name is the event name; for span events this is the span path.
+	Name string
+	// Lane is the timeline row the event belongs to.
+	Lane Lane
+	// Phase is 'X' for a complete (begin/end) span event and 'i' for
+	// an instant event.
+	Phase byte
+	// Start is the event begin time in nanoseconds since tracer start.
+	Start int64
+	// Dur is the event duration in nanoseconds (0 for instants).
+	Dur int64
+	// Attrs are the event's key/value attributes, in emission order.
+	Attrs []Attr
+}
+
+// traceSlot is one ring entry. seq publishes the claim generation
+// (index+1): a reader accepts the slot only when seq matches the
+// generation it expects, so in-flight or overwritten slots are skipped
+// rather than torn.
+type traceSlot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// traceShard is one bounded ring. cur counts claims; slot i%cap holds
+// claim i. Padded to its own cache lines so concurrent lanes do not
+// false-share cursors.
+type traceShard struct {
+	cur   atomic.Uint64
+	_     [7]uint64
+	slots []traceSlot
+}
+
+// Tracer records events into sharded bounded rings. A nil *Tracer is
+// valid everywhere and records nothing. Tracers are safe for
+// concurrent use.
+type Tracer struct {
+	clock  func() int64 // nanoseconds since tracer start; monotonic
+	shards [traceShards]traceShard
+
+	laneMu sync.Mutex
+	lanes  []string
+}
+
+// NewTracer returns a tracer with the given total event capacity
+// (DefaultTraceCapacity when capacity <= 0), timestamping events with
+// the real monotonic clock.
+func NewTracer(capacity int) *Tracer {
+	base := time.Now()
+	return NewTracerWithClock(capacity, func() int64 { return int64(time.Since(base)) })
+}
+
+// NewTracerWithClock is NewTracer with an injected clock returning
+// nanoseconds since tracer start. Tests use a fake stepping clock to
+// make exported traces fully deterministic.
+func NewTracerWithClock(capacity int, clock func() int64) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	perShard := (capacity + traceShards - 1) / traceShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	t := &Tracer{clock: clock, lanes: []string{"main"}}
+	for i := range t.shards {
+		t.shards[i].slots = make([]traceSlot, perShard)
+	}
+	return t
+}
+
+// now returns the current tracer timestamp (0 on a nil tracer).
+func (t *Tracer) now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Lane returns the lane with the given name, registering it on first
+// use. Repeated calls with one name share one lane, so a worker pool
+// re-created per batch keeps stable timeline rows. Returns 0 ("main")
+// on a nil tracer.
+func (t *Tracer) Lane(name string) Lane {
+	if t == nil {
+		return 0
+	}
+	t.laneMu.Lock()
+	defer t.laneMu.Unlock()
+	for i, n := range t.lanes {
+		if n == name {
+			return Lane(i)
+		}
+	}
+	t.lanes = append(t.lanes, name)
+	return Lane(len(t.lanes) - 1)
+}
+
+// LaneNames returns the registered lane names indexed by Lane.
+func (t *Tracer) LaneNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.laneMu.Lock()
+	defer t.laneMu.Unlock()
+	out := make([]string, len(t.lanes))
+	copy(out, t.lanes)
+	return out
+}
+
+// emit records one event. Lock-free: claim a slot, write it, publish.
+func (t *Tracer) emit(ev Event) {
+	if t == nil {
+		return
+	}
+	sh := &t.shards[int(ev.Lane)%traceShards]
+	i := sh.cur.Add(1) - 1
+	slot := &sh.slots[i%uint64(len(sh.slots))]
+	slot.seq.Store(0) // unpublish while writing
+	slot.ev = ev
+	slot.seq.Store(i + 1)
+}
+
+// Emit records an instant event on the given lane.
+func (t *Tracer) Emit(lane Lane, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Name: name, Lane: lane, Phase: 'i', Start: t.now(), Attrs: attrs})
+}
+
+// Dropped returns the number of events lost to ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	var d uint64
+	for i := range t.shards {
+		sh := &t.shards[i]
+		if n, c := sh.cur.Load(), uint64(len(sh.slots)); n > c {
+			d += n - c
+		}
+	}
+	return d
+}
+
+// Events snapshots every published event, sorted deterministically:
+// by lane, then start time, then duration (longer first, so enclosing
+// spans precede their children), then name. Call it after the traced
+// work has quiesced; slots being written concurrently are skipped.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for s := range t.shards {
+		sh := &t.shards[s]
+		n := sh.cur.Load()
+		c := uint64(len(sh.slots))
+		lo := uint64(0)
+		if n > c {
+			lo = n - c
+		}
+		for i := lo; i < n; i++ {
+			slot := &sh.slots[i%c]
+			if slot.seq.Load() != i+1 {
+				continue // in-flight or already overwritten
+			}
+			ev := slot.ev
+			if slot.seq.Load() != i+1 {
+				continue // torn by a wrap during the copy
+			}
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x.Lane != y.Lane {
+			return x.Lane < y.Lane
+		}
+		if x.Start != y.Start {
+			return x.Start < y.Start
+		}
+		if x.Dur != y.Dur {
+			return x.Dur > y.Dur
+		}
+		return x.Name < y.Name
+	})
+	return out
+}
+
+// jsonString marshals s as a JSON string literal.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// writeArgs renders attrs as a Chrome trace "args" object, in
+// attribute order.
+func writeArgs(b *strings.Builder, attrs []Attr) {
+	b.WriteString("{")
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(jsonString(a.Key))
+		b.WriteString(":")
+		b.WriteString(jsonString(a.Val))
+	}
+	b.WriteString("}")
+}
+
+// WriteChromeTrace writes every recorded event as Chrome trace-event
+// JSON (array format): one thread_name metadata record per lane, then
+// one "X" (complete) record per span event and one "i" (instant)
+// record per instant event. Timestamps are microseconds with
+// nanosecond precision. The output is deterministic for a given event
+// set: events are ordered as Events orders them. Load the file in
+// https://ui.perfetto.dev or chrome://tracing.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("[\n")
+	fmt.Fprintf(&b, `{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"impact","schema":%s}}`,
+		jsonString(TraceSchema))
+	for i, name := range t.LaneNames() {
+		fmt.Fprintf(&b, ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+			i, jsonString(name))
+	}
+	for _, ev := range t.Events() {
+		b.WriteString(",\n")
+		fmt.Fprintf(&b, `{"ph":"%c","pid":1,"tid":%d,"cat":"impact","name":%s,"ts":%d.%03d`,
+			ev.Phase, ev.Lane, jsonString(ev.Name), ev.Start/1000, ev.Start%1000)
+		if ev.Phase == 'X' {
+			fmt.Fprintf(&b, `,"dur":%d.%03d`, ev.Dur/1000, ev.Dur%1000)
+		} else {
+			b.WriteString(`,"s":"t"`)
+		}
+		if len(ev.Attrs) > 0 {
+			b.WriteString(`,"args":`)
+			writeArgs(&b, ev.Attrs)
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("\n]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTimeline writes a deterministic human-readable timeline: one
+// section per lane (in lane order), one line per event (in start
+// order) with start, duration, name, and attributes.
+func (t *Tracer) WriteTimeline(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	events := t.Events()
+	names := t.LaneNames()
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d events, %d lanes, %d dropped\n",
+		len(events), len(names), t.Dropped())
+	laneName := func(l Lane) string {
+		if int(l) < len(names) {
+			return names[l]
+		}
+		return fmt.Sprintf("lane-%d", l)
+	}
+	cur := Lane(-1)
+	for _, ev := range events {
+		if ev.Lane != cur {
+			cur = ev.Lane
+			fmt.Fprintf(&b, "lane %s:\n", laneName(cur))
+		}
+		fmt.Fprintf(&b, "  %12.3fµs", float64(ev.Start)/1e3)
+		if ev.Phase == 'X' {
+			fmt.Fprintf(&b, " %12.3fµs", float64(ev.Dur)/1e3)
+		} else {
+			fmt.Fprintf(&b, " %13s", "instant")
+		}
+		fmt.Fprintf(&b, "  %s", ev.Name)
+		for _, a := range ev.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Val)
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

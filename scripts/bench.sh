@@ -1,9 +1,20 @@
 #!/usr/bin/env bash
-# bench.sh — run the table benchmarks and record the results as JSON.
+# bench.sh — run the table benchmarks, record the results as JSON, and
+# optionally gate against a committed baseline.
 #
 # Usage:
 #
 #   scripts/bench.sh [bench-regexp]
+#       Run the benchmarks and write $OUT.
+#
+#   scripts/bench.sh -compare [baseline] [bench-regexp]
+#       Run the benchmarks to a temporary file and compare ns/op
+#       against the baseline (default BENCH_PR6.json) with
+#       scripts/benchcmp. Exits non-zero when any benchmark regressed
+#       by at least FAIL_PCT percent.
+#
+#   scripts/bench.sh -compare-files BASE NEW
+#       Compare two existing result files without running anything.
 #
 # Environment:
 #
@@ -12,7 +23,9 @@
 #   BENCHTIME           go test -benchtime value (default 3x, so the
 #                       memoized steady state shows up after the cold
 #                       first iteration)
-#   OUT                 output file (default BENCH_PR5.json)
+#   OUT                 output file (default BENCH_PR6.json)
+#   WARN_PCT            -compare warning threshold (default 10)
+#   FAIL_PCT            -compare failure threshold (default 25)
 #
 # The JSON maps each benchmark to its ns/op plus every custom metric
 # the benchmark reports (miss2K%, traffic2K%, ...), so performance and
@@ -23,10 +36,40 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+WARN_PCT="${WARN_PCT:-10}"
+FAIL_PCT="${FAIL_PCT:-25}"
+
+compare() {
+    go run ./scripts/benchcmp -base "$1" -new "$2" -warn "$WARN_PCT" -fail "$FAIL_PCT"
+}
+
+if [ "${1:-}" = "-compare-files" ]; then
+    [ $# -eq 3 ] || { echo "usage: scripts/bench.sh -compare-files BASE NEW" >&2; exit 2; }
+    compare "$2" "$3"
+    exit
+fi
+
+MODE=run
+BASELINE=BENCH_PR6.json
+if [ "${1:-}" = "-compare" ]; then
+    MODE=compare
+    shift
+    # An argument that is an existing .json file is the baseline; the
+    # rest is the benchmark pattern.
+    if [ $# -ge 1 ] && [[ "$1" == *.json ]]; then
+        BASELINE="$1"
+        shift
+    fi
+fi
+
 SCALE="${IMPACT_BENCH_SCALE:-0.25}"
 BENCHTIME="${BENCHTIME:-3x}"
 PATTERN="${1:-^Benchmark(Table|Analyze)}"
-OUT="${OUT:-BENCH_PR5.json}"
+if [ "$MODE" = compare ]; then
+    OUT="$(mktemp /tmp/bench.XXXXXX.json)"
+else
+    OUT="${OUT:-BENCH_PR6.json}"
+fi
 
 raw=$(IMPACT_BENCH_SCALE="$SCALE" go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" .)
 printf '%s\n' "$raw"
@@ -50,3 +93,7 @@ END {
 }' > "$OUT"
 
 echo "wrote $OUT"
+
+if [ "$MODE" = compare ]; then
+    compare "$BASELINE" "$OUT"
+fi
