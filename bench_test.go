@@ -20,6 +20,7 @@ package impact
 
 import (
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -27,6 +28,7 @@ import (
 	"impact/internal/analysis"
 	"impact/internal/cache"
 	"impact/internal/experiments"
+	"impact/internal/layout"
 	"impact/internal/profile"
 )
 
@@ -478,6 +480,60 @@ func BenchmarkAblationGlobalAlgo(b *testing.B) {
 	n := float64(len(rows))
 	b.ReportMetric(d/n*100, "dfsMiss%")
 	b.ReportMetric(p/n*100, "phMiss%")
+}
+
+// BenchmarkStreamSimulate times the end-to-end streaming pipeline:
+// every benchmark's natural-layout evaluation run regenerates straight
+// into the cache simulator (layout.Stream → cache.SinkSimulator) with
+// no trace materialized anywhere — the zero-copy path the commands
+// use. Compare with BenchmarkAnalyzeSimulate, which only replays an
+// already-materialized trace.
+func BenchmarkStreamSimulate(b *testing.B) {
+	s := benchSuite(b)
+	geom := cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1}
+	b.ResetTimer()
+	var misses uint64
+	for i := 0; i < b.N; i++ {
+		misses = 0
+		for _, p := range s.Items {
+			sim, err := cache.NewSinkSimulator(geom)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, err = layout.Stream(layout.Natural(p.Bench.Prog), p.Bench.EvalSeed, p.Bench.EvalConfig(), sim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			misses += sim.Stats()[0].Misses
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(misses)/1e6, "missesM")
+}
+
+// BenchmarkShardSimulate times the set-sharded simulator on every
+// benchmark's optimized trace at the paper's default geometry, with the
+// machine's full parallelism. On a single-CPU host ShardSimulate falls
+// back to the sequential simulator (the engine's documented policy), so
+// the number stays comparable to BenchmarkAnalyzeSimulate there.
+func BenchmarkShardSimulate(b *testing.B) {
+	s := benchSuite(b)
+	geom := cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1}
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	var misses uint64
+	for i := 0; i < b.N; i++ {
+		misses = 0
+		for _, p := range s.Items {
+			st, err := cache.ShardSimulate(geom, p.OptTrace, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			misses += st.Misses
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(misses)/1e6, "missesM")
 }
 
 // BenchmarkAnalyzeStatic times the static must/may analyzer over every

@@ -248,8 +248,10 @@ func main() {
 	memo := common.Registry.Counter("sweep.sims_memoized").Value()
 	stack := common.Registry.Counter("sweep.stack_pass_sizes").Value()
 	passes := common.Registry.Counter("sweep.trace_passes").Value()
-	fmt.Fprintf(os.Stderr, "sweep engine: %d simulations (%d stack-derived) in %d trace passes, %d served from memo\n",
-		run, stack, passes, memo)
+	reused := common.Registry.Counter("sweep.stack_pass_reused").Value()
+	sharded := common.Registry.Counter("sweep.sharded_sims").Value()
+	fmt.Fprintf(os.Stderr, "sweep engine: %d simulations (%d stack-derived) in %d trace passes, %d served from memo, %d from retained passes, %d set-sharded\n",
+		run, stack, passes, memo, reused, sharded)
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
 	common.MustClose()
 }

@@ -17,10 +17,14 @@
 // forwarding. -prefetch adds next-block prefetch-on-miss (whole-block
 // fill only) and reports prefetch accuracy.
 //
+// The trace is never materialized: runs stream from the file straight
+// into the simulator (memtrace.Reader), so memory stays constant
+// regardless of trace length.
+//
 // -sizes replaces -size with a comma-separated cache size sweep,
-// simulated in a single pass over the trace: one LRU stack pass when
-// the organisation permits (fully associative, whole-block, untimed),
-// otherwise one broadcast replay into all sizes at once (see
+// simulated in a single streaming pass over the file: one LRU stack
+// pass when the organisation permits (fully associative, whole-block,
+// untimed), otherwise one fan-out replay into all sizes at once (see
 // docs/PERFORMANCE.md).
 package main
 
@@ -63,13 +67,10 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	sp := common.Registry.Span("icsim/load")
-	tr, err := memtrace.Read(f)
-	sp.End()
+	rd, err := memtrace.NewReader(f)
 	if err != nil {
 		fatal(err)
 	}
-	slog.Debug("trace loaded", "file", *tracePath, "instrs", tr.Instrs, "runs", len(tr.Runs))
 
 	cfg := cf.Config()
 	cfg.Replacement = repl
@@ -81,23 +82,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var count memtrace.RunCount
 	if sizeList != nil {
 		sp := common.Registry.Span("icsim/sweep")
 		sp.SetAttrInt("sizes", int64(len(sizeList)))
-		sweepSizes(cfg, tr, sizeList, *tracePath)
+		sweepSizes(cfg, rd, &count, sizeList, *tracePath)
 		sp.End()
 		common.MustClose()
 		return
 	}
-	sp = common.Registry.Span("icsim/simulate")
+	sp := common.Registry.Span("icsim/simulate")
 	sp.SetAttr("cache", cfg.String())
-	stats, err := cache.Simulate(cfg, tr)
-	sp.End()
+	sim, err := cache.NewSinkSimulator(cfg)
 	if err != nil {
+		sp.End()
 		fatal(err)
 	}
+	if err := rd.Replay(memtrace.Tee(sim, &count)); err != nil {
+		sp.End()
+		fatal(err)
+	}
+	stats := sim.Stats()[0]
+	sp.End()
+	slog.Debug("trace streamed", "file", *tracePath, "instrs", count.Instrs, "runs", count.Runs)
 
-	fmt.Printf("trace:    %s (%d instruction fetches, %d runs)\n", *tracePath, tr.Instrs, len(tr.Runs))
+	fmt.Printf("trace:    %s (%d instruction fetches, %d runs)\n", *tracePath, count.Instrs, count.Runs)
 	fmt.Printf("cache:    %s\n", cfg)
 	fmt.Printf("misses:   %d\n", stats.Misses)
 	fmt.Printf("miss:     %.4f%%\n", stats.MissRatio()*100)
@@ -119,13 +128,31 @@ func main() {
 	common.MustClose()
 }
 
-// sweepSizes runs the -sizes size sweep: every size is simulated from
-// a single pass over the trace (a stack pass for fully associative
-// whole-block organisations, a broadcast replay otherwise).
-func sweepSizes(template cache.Config, tr *memtrace.Trace, sizeList []int, tracePath string) {
-	stats, err := sweep.SweepSizes(tr, template, sizeList)
+// sweepSizes runs the -sizes size sweep in one streaming pass over the
+// file: a stack pass for fully associative whole-block organisations,
+// a fan-out replay into every size otherwise.
+func sweepSizes(template cache.Config, rd *memtrace.Reader, count *memtrace.RunCount, sizeList []int, tracePath string) {
+	z, cfgs, err := sweep.NewSizeStream(template, sizeList)
 	if err != nil {
 		fatal(err)
+	}
+	var stats []cache.Stats
+	if z != nil {
+		if err := rd.Replay(memtrace.Tee(z, count)); err != nil {
+			fatal(err)
+		}
+		if stats, err = z.Results(); err != nil {
+			fatal(err)
+		}
+	} else {
+		sim, err := cache.NewSinkSimulator(cfgs...)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rd.Replay(memtrace.Tee(sim, count)); err != nil {
+			fatal(err)
+		}
+		stats = sim.Stats()
 	}
 	desc := fmt.Sprintf("%dB blocks", template.BlockBytes)
 	switch template.Assoc {
@@ -151,7 +178,7 @@ func sweepSizes(template cache.Config, tr *memtrace.Trace, sizeList []int, trace
 	if template.Timing != nil {
 		desc += fmt.Sprintf(", latency=%d", template.Timing.InitialLatency)
 	}
-	fmt.Printf("trace:    %s (%d instruction fetches, %d runs)\n", tracePath, tr.Instrs, len(tr.Runs))
+	fmt.Printf("trace:    %s (%d instruction fetches, %d runs)\n", tracePath, count.Instrs, count.Runs)
 	fmt.Printf("template: %s\n", desc)
 	t := texttable.New("", "size", "misses", "miss", "traffic", "avg.exec")
 	for i, st := range stats {

@@ -52,8 +52,6 @@ import (
 	"strconv"
 	"strings"
 
-	"impact/internal/cache"
-	"impact/internal/cache/sweep"
 	"impact/internal/check"
 	"impact/internal/cliutil"
 	"impact/internal/core"
@@ -297,17 +295,20 @@ func cmdTrace(args []string) {
 		fatal(err)
 	}
 	defer f.Close()
+	// The trace streams from the execution engine straight into the
+	// encoder — it is never materialized, so arbitrarily long traces
+	// write in constant memory.
 	wr := memtrace.NewWriter(f)
-	tr, runRes, err := layout.Trace(lay, b.EvalSeed, b.EvalConfig())
+	var count memtrace.RunCount
+	runRes, err := layout.Stream(lay, b.EvalSeed, b.EvalConfig(), memtrace.Tee(wr, &count))
 	if err != nil {
 		fatal(err)
 	}
-	tr.Replay(wr)
 	if err := wr.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s: %d instruction fetches, %d runs (completed=%v)\n",
-		*out, tr.Instrs, len(tr.Runs), runRes.Completed)
+		*out, count.Instrs, count.Runs, runRes.Completed)
 }
 
 func cmdSimulate(args []string) {
@@ -330,16 +331,22 @@ func cmdSimulate(args []string) {
 		fatal(err)
 	}
 
+	// Both layouts measure through a sweep engine: size sweeps collapse
+	// into stack passes where the organisation permits, the two layouts
+	// simulate concurrently on the worker pool, and lone replays may
+	// shard by cache set when cores are spare.
+	eng := experiments.NewEngine()
+	eng.AttachObs(common.Registry)
 	sizeList, err := cf.SizeList()
 	if err != nil {
 		fatal(err)
 	}
 	if sizeList != nil {
-		so, err := sweep.SweepSizes(optTr, cfg, sizeList)
+		so, err := eng.SweepSizes(optTr, cfg, sizeList)
 		if err != nil {
 			fatal(err)
 		}
-		sn, err := sweep.SweepSizes(natTr, cfg, sizeList)
+		sn, err := eng.SweepSizes(natTr, cfg, sizeList)
 		if err != nil {
 			fatal(err)
 		}
@@ -357,14 +364,14 @@ func cmdSimulate(args []string) {
 		fatal(err)
 	}
 
-	so, err := cache.Simulate(cfg, optTr)
+	stats, err := eng.Batch([]experiments.SimRequest{
+		{Trace: optTr, Config: cfg},
+		{Trace: natTr, Config: cfg},
+	})
 	if err != nil {
 		fatal(err)
 	}
-	sn, err := cache.Simulate(cfg, natTr)
-	if err != nil {
-		fatal(err)
-	}
+	so, sn := stats[0], stats[1]
 
 	t := texttable.New(fmt.Sprintf("%s on %s", b.Name(), cfg),
 		"layout", "miss", "traffic", "misses", "accesses")

@@ -9,25 +9,13 @@ import "impact/internal/memtrace"
 // access stream — but the trace's run list is walked a single time, so
 // the per-run dispatch cost is paid once instead of once per
 // configuration. This is the broadcast layer of the sweep engine (see
-// internal/cache/sweep and docs/PERFORMANCE.md).
+// internal/cache/sweep and docs/PERFORMANCE.md); SinkSimulator is the
+// same fan-out fed from a live stream instead of a materialized trace.
 func MultiSimulate(cfgs []Config, tr *memtrace.Trace) ([]Stats, error) {
-	caches := make([]*Cache, len(cfgs))
-	for i, cfg := range cfgs {
-		c, err := New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		caches[i] = c
+	s, err := NewSinkSimulator(cfgs...)
+	if err != nil {
+		return nil, err
 	}
-	for _, r := range tr.Runs {
-		for _, c := range caches {
-			c.Run(r)
-		}
-	}
-	out := make([]Stats, len(cfgs))
-	for i, c := range caches {
-		out[i] = c.Stats()
-		record(out[i])
-	}
-	return out, nil
+	tr.Replay(s)
+	return s.Stats(), nil
 }

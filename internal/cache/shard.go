@@ -1,0 +1,188 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"impact/internal/memtrace"
+)
+
+// This file shards ONE simulation across workers by cache set index.
+// Under every geometry without cross-set side effects, a block's fate
+// depends only on the access history of its own set, and every word of
+// the trace maps to exactly one set — so W workers can each replay the
+// full trace restricted to a contiguous band of sets on a private
+// cache, and the per-set hit/miss outcomes are bit-identical to the
+// serial simulator's. Additive counters (accesses, misses, memory
+// words) merge by summation. The avg.exec metric needs one extra step:
+// within one sequential run with misses at positions p1 < … < pk the
+// serial exec words telescope to W − p1, and each worker's per-run
+// exec delta is W − (its first in-band miss), so the global
+// contribution is the per-run MAXIMUM of the worker deltas (a worker
+// with no miss in the run contributes 0). ShardSimulate records those
+// deltas per run and merges them; the differential and -race tests in
+// shard_test.go are the referee.
+
+// ShardEligible reports whether cfg can be sharded by set index with
+// bit-identical results. Excluded: the timing model (stall accounting
+// spans sets: a fill is cut short by the next miss in ANY set),
+// prefetch-on-miss (the prefetched next block can land in another
+// set's band), random replacement with associativity > 1 (all sets
+// share one victim RNG stream, so per-set outcomes depend on global
+// interleaving), and single-set caches (nothing to partition).
+func ShardEligible(cfg Config) bool {
+	if cfg.Validate() != nil {
+		return false
+	}
+	if cfg.Timing != nil || cfg.PrefetchNext {
+		return false
+	}
+	blocks := cfg.SizeBytes / cfg.BlockBytes
+	assoc := cfg.Assoc
+	if assoc == 0 {
+		assoc = blocks
+	}
+	if cfg.Replacement == RandomRepl && assoc != 1 {
+		return false
+	}
+	return blocks/assoc >= 2
+}
+
+// RunSets simulates the sequential fetch run r restricted to the set
+// band [lo, hi): only word groups whose memory block maps to a set in
+// the band are applied (with a skip-ahead to the next in-band block,
+// so out-of-band stretches cost O(1) per band crossing), and only
+// their words count as accesses. Exec-run positions stay absolute
+// within the run, so the per-run exec-words delta equals
+// runWords − firstInBandMissPos (see the package comment above).
+func (c *Cache) RunSets(r memtrace.Run, lo, hi uint32) {
+	w0, w1 := r.WordRange()
+	if w1 <= w0 {
+		return
+	}
+	for w := w0; w < w1; {
+		mb := w / c.blockWords
+		s := mb % c.numSets
+		if s < lo || s >= hi {
+			// Skip to the first word of the next in-band block. Compute
+			// in uint64: the next block index can overflow the 32-bit
+			// word space on runs near the top of the address range.
+			next := mb + (lo - s)
+			if s >= lo {
+				next = mb + (c.numSets - s) + lo
+			}
+			nw := uint64(next) * uint64(c.blockWords)
+			if nw >= uint64(w1) {
+				break
+			}
+			w = uint32(nw)
+			continue
+		}
+		gEnd := (mb + 1) * c.blockWords
+		if gEnd > w1 {
+			gEnd = w1
+		}
+		c.stats.Accesses += uint64(gEnd - w)
+		if c.dm != nil {
+			c.accessGroupDM(mb, w, w0)
+		} else {
+			c.accessGroup(mb, w, gEnd, w0)
+		}
+		w = gEnd
+	}
+	// End of sequential run: a taken branch closes any open exec run,
+	// at the same absolute position the serial simulator uses.
+	if c.execOpen {
+		consumed := uint64(w1-w0) - c.execStart
+		c.stats.ExecRuns++
+		c.stats.ExecWords += consumed
+		c.closeFetch(consumed)
+		c.execOpen = false
+	}
+}
+
+// ShardSimulate simulates cfg over tr with the trace's sets
+// partitioned across `workers` parallel workers, returning statistics
+// bit-identical to Simulate. Ineligible configurations (see
+// ShardEligible) and worker counts below 2 fall back to the serial
+// simulator transparently. When the attached observation registry has
+// a tracer, each worker's replay appears on a shard-worker-N lane.
+func ShardSimulate(cfg Config, tr *memtrace.Trace, workers int) (Stats, error) {
+	numSets := 0
+	if cfg.Validate() == nil {
+		blocks := cfg.SizeBytes / cfg.BlockBytes
+		assoc := cfg.Assoc
+		if assoc == 0 {
+			assoc = blocks
+		}
+		numSets = blocks / assoc
+	}
+	if workers > numSets {
+		workers = numSets
+	}
+	if workers < 2 || !ShardEligible(cfg) {
+		return Simulate(cfg, tr)
+	}
+
+	nRuns := len(tr.Runs)
+	partials := make([]Stats, workers)
+	execByRun := make([][]uint32, workers)
+	errs := make([]error, workers)
+	var reg = obsRegistry()
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			lo := uint32(wk * numSets / workers)
+			hi := uint32((wk + 1) * numSets / workers)
+			lane := reg.NewLane(fmt.Sprintf("shard-worker-%d", wk))
+			sp := reg.SpanOn(lane, "cache/shard")
+			sp.SetAttr("config", cfg.String())
+			sp.SetAttrInt("sets_lo", int64(lo))
+			sp.SetAttrInt("sets_hi", int64(hi))
+			c, err := New(cfg)
+			if err != nil {
+				errs[wk] = err
+				sp.End()
+				return
+			}
+			deltas := make([]uint32, nRuns)
+			for i, r := range tr.Runs {
+				before := c.stats.ExecWords
+				c.RunSets(r, lo, hi)
+				deltas[i] = uint32(c.stats.ExecWords - before)
+			}
+			partials[wk] = c.Stats()
+			execByRun[wk] = deltas
+			sp.End()
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Stats{}, err
+		}
+	}
+
+	var total Stats
+	for _, p := range partials {
+		total.Accesses += p.Accesses
+		total.Misses += p.Misses
+		total.MemWords += p.MemWords
+	}
+	// Exec runs close once per miss; exec words are the per-run maxima
+	// of the worker deltas (W − global first miss position).
+	total.ExecRuns = total.Misses
+	for i := 0; i < nRuns; i++ {
+		var maxDelta uint32
+		for wk := 0; wk < workers; wk++ {
+			if d := execByRun[wk][i]; d > maxDelta {
+				maxDelta = d
+			}
+		}
+		total.ExecWords += uint64(maxDelta)
+	}
+	record(total)
+	return total, nil
+}

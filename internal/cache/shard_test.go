@@ -1,0 +1,316 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"impact/internal/memtrace"
+	"impact/internal/obs"
+)
+
+// shardConfigs is the eligible matrix the differential tests sweep:
+// every multi-set organisation family sharding supports.
+func shardConfigs() []Config {
+	return []Config{
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 1},
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, Replacement: RandomRepl},
+		{SizeBytes: 2048, BlockBytes: 32, Assoc: 4},
+		{SizeBytes: 4096, BlockBytes: 64, Assoc: 2, Replacement: FIFO},
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, SectorBytes: 8},
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 4, SectorBytes: 16},
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, PartialLoad: true},
+		{SizeBytes: 1024, BlockBytes: 16, Assoc: 2, PartialLoad: true},
+		{SizeBytes: 512, BlockBytes: 128, Assoc: 2},
+	}
+}
+
+func TestShardSimulateMatchesSimulate(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		tr := randomTrace(seed, 3000)
+		for _, cfg := range shardConfigs() {
+			want, err := Simulate(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 4, 7, 64} {
+				got, err := ShardSimulate(cfg, tr, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("seed %d %v workers=%d:\nsharded %+v\nserial  %+v", seed, cfg, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestShardEligible(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want bool
+	}{
+		{Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1}, true},
+		{Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 4}, true},
+		{Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, SectorBytes: 8}, true},
+		{Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, PartialLoad: true}, true},
+		{Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, Replacement: RandomRepl}, true},
+		{Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 2, Replacement: FIFO}, true},
+		// One shared RNG stream across sets.
+		{Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 2, Replacement: RandomRepl}, false},
+		// Fully associative: a single set cannot be partitioned.
+		{Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 0}, false},
+		// Prefetch can cross band boundaries.
+		{Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, PrefetchNext: true}, false},
+		// Stall accounting spans sets.
+		{Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, Timing: &TimingConfig{InitialLatency: 6}}, false},
+		// Invalid.
+		{Config{SizeBytes: 100, BlockBytes: 64}, false},
+	}
+	for _, tc := range cases {
+		if got := ShardEligible(tc.cfg); got != tc.want {
+			t.Errorf("ShardEligible(%v) = %v, want %v", tc.cfg, got, tc.want)
+		}
+	}
+}
+
+// TestShardSimulateFallback pins the transparent fallbacks: ineligible
+// configurations and degenerate worker counts still produce Simulate's
+// exact stats.
+func TestShardSimulateFallback(t *testing.T) {
+	tr := randomTrace(5, 800)
+	cfgs := []Config{
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 0},                                           // single set
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 4, Replacement: RandomRepl},                  // shared RNG
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, PrefetchNext: true},                       // cross-band prefetch
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, Timing: &TimingConfig{InitialLatency: 6}}, // stalls span sets
+	}
+	for _, cfg := range cfgs {
+		want, err := Simulate(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ShardSimulate(cfg, tr, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%v fallback: sharded %+v, serial %+v", cfg, got, want)
+		}
+	}
+	cfg := Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1}
+	want, _ := Simulate(cfg, tr)
+	for _, workers := range []int{0, 1, -3} {
+		got, err := ShardSimulate(cfg, tr, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: %+v, want %+v", workers, got, want)
+		}
+	}
+	if _, err := ShardSimulate(Config{SizeBytes: 100, BlockBytes: 64}, tr, 4); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestRunSetsPartition replays one trace into per-band caches directly
+// and checks the bands partition the access stream: every word lands
+// in exactly one band.
+func TestRunSetsPartition(t *testing.T) {
+	tr := randomTrace(9, 1500)
+	cfg := Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1} // 32 sets
+	want, err := Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accesses, misses, memWords uint64
+	for _, band := range [][2]uint32{{0, 5}, {5, 6}, {6, 20}, {20, 32}} {
+		c := mustNew(t, cfg)
+		for _, r := range tr.Runs {
+			c.RunSets(r, band[0], band[1])
+		}
+		accesses += c.Stats().Accesses
+		misses += c.Stats().Misses
+		memWords += c.Stats().MemWords
+	}
+	if accesses != want.Accesses || misses != want.Misses || memWords != want.MemWords {
+		t.Errorf("bands sum accesses=%d misses=%d memWords=%d, serial %+v", accesses, misses, memWords, want)
+	}
+	// An empty band observes nothing.
+	c := mustNew(t, cfg)
+	for _, r := range tr.Runs {
+		c.RunSets(r, 7, 7)
+	}
+	if st := c.Stats(); st.Accesses != 0 || st.Misses != 0 {
+		t.Errorf("empty band saw %+v", st)
+	}
+}
+
+// TestRunSetsAddressTop exercises the skip-ahead at the top of the
+// 32-bit address space, where the next in-band block index would
+// overflow uint32 word arithmetic.
+func TestRunSetsAddressTop(t *testing.T) {
+	var tr memtrace.Trace
+	tr.Run(memtrace.Run{Addr: 0xFFFF_FE00, Bytes: 0x200}) // saturating tail
+	tr.Run(memtrace.Run{Addr: 0xFFFF_FF00, Bytes: 0x100})
+	tr.Run(memtrace.Run{Addr: 64, Bytes: 192})
+	for _, cfg := range []Config{
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 1},
+		{SizeBytes: 1024, BlockBytes: 128, Assoc: 2},
+	} {
+		want, err := Simulate(cfg, &tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ShardSimulate(cfg, &tr, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%v: sharded %+v, serial %+v", cfg, got, want)
+		}
+	}
+}
+
+// TestShardSimulateRaceStress hammers the sharded merge under the race
+// detector: concurrent ShardSimulate calls with an attached registry
+// and tracer, each internally fanning out workers over shared trace
+// data.
+func TestShardSimulateRaceStress(t *testing.T) {
+	prev := attached.Load()
+	defer attached.Store(prev)
+	reg := obs.NewRegistry()
+	reg.AttachTracer(obs.NewTracer(obs.DefaultTraceCapacity))
+	AttachObs(reg)
+
+	tr := randomTrace(31, 2000)
+	cfgs := shardConfigs()
+	want := make([]Stats, len(cfgs))
+	for i, cfg := range cfgs {
+		st, err := Simulate(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = st
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, cfg := range cfgs {
+				got, err := ShardSimulate(cfg, tr, 2+g%3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != want[i] {
+					t.Errorf("goroutine %d %v: %+v, want %+v", g, cfg, got, want[i])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSinkSimulatorMatchesMultiSimulate(t *testing.T) {
+	tr := randomTrace(17, 2000)
+	cfgs := append(shardConfigs(),
+		Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 0},
+		Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, PrefetchNext: true},
+		Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1, Timing: &TimingConfig{InitialLatency: 6, CriticalWordFirst: true}},
+	)
+	want, err := MultiSimulate(cfgs, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSinkSimulator(cfgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Runs {
+		s.Run(r)
+	}
+	got := s.Stats()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%v: sink %+v, multi %+v", cfgs[i], got[i], want[i])
+		}
+		st, err := Simulate(cfgs[i], tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != st {
+			t.Errorf("%v: sink %+v, serial %+v", cfgs[i], got[i], st)
+		}
+	}
+	// Stats is stable across calls.
+	again := s.Stats()
+	for i := range got {
+		if again[i] != got[i] {
+			t.Errorf("Stats changed between calls: %+v vs %+v", again[i], got[i])
+		}
+	}
+	if _, err := NewSinkSimulator(Config{SizeBytes: 100, BlockBytes: 64}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestSinkSimulatorRecordsOnce pins the observation contract: the
+// first Stats call folds each simulation into the registry, repeat
+// calls do not double-count.
+func TestSinkSimulatorRecordsOnce(t *testing.T) {
+	prev := attached.Load()
+	defer attached.Store(prev)
+	reg := obs.NewRegistry()
+	AttachObs(reg)
+
+	s, err := NewSinkSimulator(Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(memtrace.Run{Addr: 0, Bytes: 256})
+	s.Stats()
+	s.Stats()
+	if got := reg.Counter("cache.simulations").Value(); got != 1 {
+		t.Errorf("cache.simulations = %d, want 1", got)
+	}
+}
+
+// TestRunSetsZeroAlloc extends the hot-loop allocation guard to the
+// band-restricted replay the shard workers run.
+func TestRunSetsZeroAlloc(t *testing.T) {
+	tr := allocTrace()
+	for _, cfg := range []Config{
+		{SizeBytes: 2048, BlockBytes: 64, Assoc: 1},
+		{SizeBytes: 2048, BlockBytes: 32, Assoc: 4},
+	} {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(50, func() {
+			for _, r := range tr.Runs {
+				c.RunSets(r, 0, c.numSets/2)
+			}
+		}); got != 0 {
+			t.Errorf("%v: RunSets allocates %.1f per replay, want 0", cfg, got)
+		}
+	}
+}
+
+func BenchmarkShardMergeOverhead(b *testing.B) {
+	tr := randomTrace(3, 5000)
+	cfg := Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ShardSimulate(cfg, tr, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

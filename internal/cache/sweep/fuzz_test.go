@@ -38,13 +38,16 @@ var fuzzConfigs = []cache.Config{
 	{SizeBytes: 1024, BlockBytes: 32, Assoc: 1, PrefetchNext: true},
 }
 
-// FuzzDifferential cross-checks the three simulation strategies on
+// FuzzDifferential cross-checks every simulation strategy on
 // arbitrary traces: sequential cache.Simulate is the reference;
-// cache.MultiSimulate must reproduce it bit-for-bit on every
-// organisation, and the stack pass must reproduce it on every covered
-// organisation. The seed corpus runs as ordinary unit tests in short
-// mode / CI; `go test -fuzz=FuzzDifferential ./internal/cache/sweep`
-// explores further.
+// cache.MultiSimulate (and with it SinkSimulator, its streaming core)
+// must reproduce it bit-for-bit on every organisation, the sharded
+// simulator on every shardable organisation, and the stack pass — both
+// its batch and streaming (fragmented runs through a Merger) forms —
+// on every covered organisation. The seed corpus runs as ordinary unit
+// tests in short mode / CI;
+// `go test -fuzz=FuzzDifferential ./internal/cache/sweep` explores
+// further.
 func FuzzDifferential(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
@@ -75,6 +78,18 @@ func FuzzDifferential(f *testing.F) {
 				t.Errorf("%v: MultiSimulate %+v, sequential %+v", cfg, got[i], want[i])
 			}
 		}
+		for i, cfg := range fuzzConfigs {
+			if !cache.ShardEligible(cfg) {
+				continue
+			}
+			st, err := cache.ShardSimulate(cfg, tr, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != want[i] {
+				t.Errorf("%v: sharded %+v, sequential %+v", cfg, st, want[i])
+			}
+		}
 		passes := map[[2]int]*StackPass{}
 		for i, cfg := range fuzzConfigs {
 			if !Eligible(cfg) {
@@ -89,6 +104,20 @@ func FuzzDifferential(f *testing.F) {
 					t.Fatal(err)
 				}
 				passes[key] = p
+				// The streaming pass fed word-fragmented runs through a
+				// Merger must accumulate the identical pass.
+				s, err := NewStream(block, sets)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := memtrace.NewMerger(s)
+				for _, r := range tr.Runs {
+					for off := uint32(0); off < r.Bytes; off += memtrace.WordBytes {
+						m.Run(memtrace.Run{Addr: r.Addr + off, Bytes: memtrace.WordBytes})
+					}
+				}
+				m.Flush()
+				comparePass(t, "fuzz-stream", s.Pass(), p)
 			}
 			st, err := p.Stats(cfg)
 			if err != nil {

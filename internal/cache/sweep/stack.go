@@ -69,6 +69,35 @@ type StackPass struct {
 // lookup (the scan depth is the stack distance itself, so traces with
 // locality — the only ones worth simulating — keep it shallow).
 func Run(tr *memtrace.Trace, blockBytes, numSets int) (*StackPass, error) {
+	s, err := NewStream(blockBytes, numSets)
+	if err != nil {
+		return nil, err
+	}
+	tr.Replay(s)
+	return s.Pass(), nil
+}
+
+// StreamPass is the incremental form of the stack pass: a
+// memtrace.Sink that accumulates the same statistics run by run, so a
+// trace generated live (interp → layout.Tracer → Merger) is swept
+// without ever being materialized. Runs MUST arrive in canonical form
+// — zero-length runs dropped, contiguous neighbours merged, exactly
+// what Trace.Replay, memtrace.Reader, or a memtrace.Merger deliver —
+// because a run boundary closes an exec run; splitting one canonical
+// run in two would change the avg.exec accounting.
+//
+// The steady-state Run path performs no allocations: per-set stacks
+// and the distance histogram grow only while new blocks or new depths
+// appear (see TestStreamPassZeroAlloc).
+type StreamPass struct {
+	p      *StackPass
+	stacks [][]uint32
+	sets   uint32
+}
+
+// NewStream validates the geometry and returns an empty streaming
+// stack pass.
+func NewStream(blockBytes, numSets int) (*StreamPass, error) {
 	if blockBytes < memtrace.WordBytes || blockBytes&(blockBytes-1) != 0 || blockBytes > 64*memtrace.WordBytes {
 		return nil, fmt.Errorf("sweep: block size %d is not a power of two in [%d, %d]",
 			blockBytes, memtrace.WordBytes, 64*memtrace.WordBytes)
@@ -76,69 +105,79 @@ func Run(tr *memtrace.Trace, blockBytes, numSets int) (*StackPass, error) {
 	if numSets <= 0 || numSets&(numSets-1) != 0 {
 		return nil, fmt.Errorf("sweep: set count %d is not a positive power of two", numSets)
 	}
-	p := &StackPass{
-		blockBytes: blockBytes,
-		numSets:    numSets,
-		blockWords: uint32(blockBytes / memtrace.WordBytes),
-	}
-	stacks := make([][]uint32, numSets)
-	sets := uint32(numSets)
-	for _, r := range tr.Runs {
-		w0, w1 := r.WordRange()
-		if w1 <= w0 {
-			continue
-		}
-		runWords := w1 - w0
-		p.accesses += uint64(runWords)
-		// maxcov is the largest associativity whose first miss in this
-		// run has been accounted; coldSeen means a cold lookup already
-		// claimed every remaining associativity.
-		maxcov := 0
-		coldSeen := false
-		for w := w0; w < w1; {
-			mb := w / p.blockWords
-			gEnd := (mb + 1) * p.blockWords
-			if gEnd > w1 {
-				gEnd = w1
-			}
-			st := stacks[mb%sets]
-			depth := 0
-			for i, b := range st {
-				if b == mb {
-					depth = i + 1
-					break
-				}
-			}
-			p.groups++
-			if !coldSeen {
-				contrib := int64(runWords - (w - w0))
-				if depth == 0 {
-					p.addInf(maxcov+1, contrib)
-					coldSeen = true
-				} else if depth-1 > maxcov {
-					p.addRange(maxcov+1, depth-1, contrib)
-					maxcov = depth - 1
-				}
-			}
-			if depth == 0 {
-				p.cold++
-				st = append(st, 0)
-				copy(st[1:], st[:len(st)-1])
-				st[0] = mb
-				stacks[mb%sets] = st
-			} else {
-				for len(p.hist) < depth {
-					p.hist = append(p.hist, 0)
-				}
-				p.hist[depth-1]++
-				copy(st[1:depth], st[:depth-1])
-				st[0] = mb
-			}
-			w = gEnd
-		}
-	}
-	return p, nil
+	return &StreamPass{
+		p: &StackPass{
+			blockBytes: blockBytes,
+			numSets:    numSets,
+			blockWords: uint32(blockBytes / memtrace.WordBytes),
+		},
+		stacks: make([][]uint32, numSets),
+		sets:   uint32(numSets),
+	}, nil
 }
+
+// Run accumulates one canonical run into the pass.
+func (s *StreamPass) Run(r memtrace.Run) {
+	p := s.p
+	w0, w1 := r.WordRange()
+	if w1 <= w0 {
+		return
+	}
+	runWords := w1 - w0
+	p.accesses += uint64(runWords)
+	// maxcov is the largest associativity whose first miss in this
+	// run has been accounted; coldSeen means a cold lookup already
+	// claimed every remaining associativity.
+	maxcov := 0
+	coldSeen := false
+	for w := w0; w < w1; {
+		mb := w / p.blockWords
+		gEnd := (mb + 1) * p.blockWords
+		if gEnd > w1 {
+			gEnd = w1
+		}
+		st := s.stacks[mb%s.sets]
+		depth := 0
+		for i, b := range st {
+			if b == mb {
+				depth = i + 1
+				break
+			}
+		}
+		p.groups++
+		if !coldSeen {
+			contrib := int64(runWords - (w - w0))
+			if depth == 0 {
+				p.addInf(maxcov+1, contrib)
+				coldSeen = true
+			} else if depth-1 > maxcov {
+				p.addRange(maxcov+1, depth-1, contrib)
+				maxcov = depth - 1
+			}
+		}
+		if depth == 0 {
+			p.cold++
+			st = append(st, 0)
+			copy(st[1:], st[:len(st)-1])
+			st[0] = mb
+			s.stacks[mb%s.sets] = st
+		} else {
+			for len(p.hist) < depth {
+				p.hist = append(p.hist, 0)
+			}
+			p.hist[depth-1]++
+			copy(st[1:depth], st[:depth-1])
+			st[0] = mb
+		}
+		w = gEnd
+	}
+}
+
+// Pass returns the statistics accumulated so far. The result is a
+// standalone StackPass: retaining it does not pin the per-set stack
+// memory once the StreamPass itself is released. Further Run calls
+// keep accumulating into the same pass.
+func (s *StreamPass) Pass() *StackPass { return s.p }
 
 // addRange adds v to the exec accumulator for associativities [lo, hi].
 func (p *StackPass) addRange(lo, hi int, v int64) {
@@ -256,6 +295,63 @@ func Geometry(cfg cache.Config) (blockBytes, numSets int) {
 	return cfg.BlockBytes, blocks / assoc
 }
 
+// SizeStream is a streaming size sweep: a memtrace.Sink accumulating
+// one fully-associative stack pass whose Results derive the stats of
+// the template organisation at every requested size. It exists so a
+// size sweep over a trace file (icsim -sizes) or a live generation run
+// needs constant memory. Only stackable sweeps stream; NewSizeStream
+// reports the fallback set of configurations otherwise.
+type SizeStream struct {
+	s    *StreamPass
+	cfgs []cache.Config
+}
+
+// NewSizeStream validates the sweep and, when a single
+// fully-associative stack pass covers it (template Assoc 0, every
+// derived configuration Eligible), returns a streaming sink. A nil
+// SizeStream with a nil error means the sweep is not stackable: the
+// caller must materialize the trace and broadcast-replay the returned
+// configurations (cache.MultiSimulate), as SweepSizes does.
+func NewSizeStream(template cache.Config, sizes []int) (*SizeStream, []cache.Config, error) {
+	cfgs := make([]cache.Config, len(sizes))
+	stackable := template.Assoc == 0
+	for i, s := range sizes {
+		cfg := template
+		cfg.SizeBytes = s
+		if err := cfg.Validate(); err != nil {
+			return nil, nil, err
+		}
+		cfgs[i] = cfg
+		stackable = stackable && Eligible(cfg)
+	}
+	if len(cfgs) == 0 || !stackable {
+		return nil, cfgs, nil
+	}
+	s, err := NewStream(template.BlockBytes, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &SizeStream{s: s, cfgs: cfgs}, cfgs, nil
+}
+
+// Run accumulates one canonical run (see StreamPass.Run).
+func (z *SizeStream) Run(r memtrace.Run) { z.s.Run(r) }
+
+// Results derives the per-size statistics, in input order, identical
+// to sequential cache.Simulate calls on the materialized trace.
+func (z *SizeStream) Results() ([]cache.Stats, error) {
+	p := z.s.Pass()
+	out := make([]cache.Stats, len(z.cfgs))
+	for i, cfg := range z.cfgs {
+		st, err := p.Stats(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
 // SweepSizes simulates the template organisation at every cache size
 // with the minimum number of trace passes: one stack pass when every
 // derived configuration shares a geometry (a fully associative
@@ -264,34 +360,16 @@ func Geometry(cfg cache.Config) (blockBytes, numSets int) {
 // cache.MultiSimulate. Results are in input order and identical to
 // sequential cache.Simulate calls.
 func SweepSizes(tr *memtrace.Trace, template cache.Config, sizes []int) ([]cache.Stats, error) {
-	cfgs := make([]cache.Config, len(sizes))
-	stackable := template.Assoc == 0
-	for i, s := range sizes {
-		cfg := template
-		cfg.SizeBytes = s
-		if err := cfg.Validate(); err != nil {
-			return nil, err
-		}
-		cfgs[i] = cfg
-		stackable = stackable && Eligible(cfg)
+	z, cfgs, err := NewSizeStream(template, sizes)
+	if err != nil {
+		return nil, err
 	}
 	if len(cfgs) == 0 {
 		return nil, nil
 	}
-	if stackable {
-		p, err := Run(tr, template.BlockBytes, 1)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]cache.Stats, len(cfgs))
-		for i, cfg := range cfgs {
-			st, err := p.Stats(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = st
-		}
-		return out, nil
+	if z == nil {
+		return cache.MultiSimulate(cfgs, tr)
 	}
-	return cache.MultiSimulate(cfgs, tr)
+	tr.Replay(z)
+	return z.Results()
 }

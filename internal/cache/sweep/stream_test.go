@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"testing"
+
+	"impact/internal/cache"
+	"impact/internal/memtrace"
+)
+
+// TestStreamPassMatchesBatch feeds the same trace to Run (batch) and
+// to a StreamPass run by run, including through a Merger fed raw,
+// fragmented runs, and requires identical derived stats everywhere.
+func TestStreamPassMatchesBatch(t *testing.T) {
+	for _, geom := range []struct{ block, sets int }{
+		{16, 1}, {64, 1}, {64, 8}, {32, 32},
+	} {
+		tr := genTrace(uint64(geom.block*100+geom.sets), 2500)
+		want, err := Run(tr, geom.block, geom.sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Direct streaming of canonical runs.
+		s, err := NewStream(geom.block, geom.sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tr.Runs {
+			s.Run(r)
+		}
+		comparePass(t, "stream", s.Pass(), want)
+
+		// Streaming through a Merger fed deliberately fragmented runs:
+		// split every canonical run into word-sized pieces. The Merger
+		// must reassemble the canonical sequence.
+		s2, err := NewStream(geom.block, geom.sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := memtrace.NewMerger(s2)
+		for _, r := range tr.Runs {
+			for off := uint32(0); off < r.Bytes; off += memtrace.WordBytes {
+				m.Run(memtrace.Run{Addr: r.Addr + off, Bytes: memtrace.WordBytes})
+			}
+		}
+		m.Flush()
+		comparePass(t, "merger-stream", s2.Pass(), want)
+	}
+}
+
+// comparePass checks two passes derive identical stats across a
+// spread of associativities.
+func comparePass(t *testing.T, label string, got, want *StackPass) {
+	t.Helper()
+	if got.Accesses() != want.Accesses() {
+		t.Errorf("%s: accesses %d, want %d", label, got.Accesses(), want.Accesses())
+	}
+	for assoc := 1; assoc <= 64; assoc *= 2 {
+		cfg := cache.Config{
+			SizeBytes:   want.NumSets() * assoc * want.BlockBytes(),
+			BlockBytes:  want.BlockBytes(),
+			Assoc:       assoc,
+			Replacement: cache.LRU,
+		}
+		if cfg.Validate() != nil || !want.Covers(cfg) {
+			continue
+		}
+		w, err := want.Stats(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := got.Stats(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != w {
+			t.Errorf("%s %v: stream %+v, batch %+v", label, cfg, g, w)
+		}
+	}
+}
+
+func TestSizeStream(t *testing.T) {
+	tr := genTrace(41, 2500)
+	sizes := []int{512, 1024, 2048, 4096, 8192}
+
+	// Stackable: fully associative template.
+	tmpl := cache.Config{BlockBytes: 64, Assoc: 0}
+	z, cfgs, err := NewSizeStream(tmpl, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z == nil {
+		t.Fatal("fully associative sweep should be stackable")
+	}
+	if len(cfgs) != len(sizes) {
+		t.Fatalf("got %d configs, want %d", len(cfgs), len(sizes))
+	}
+	tr.Replay(z)
+	got, err := z.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SweepSizes(tr, tmpl, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("size %d: stream %+v, SweepSizes %+v", sizes[i], got[i], want[i])
+		}
+		st, err := cache.Simulate(cfgs[i], tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != st {
+			t.Errorf("size %d: stream %+v, Simulate %+v", sizes[i], got[i], st)
+		}
+	}
+
+	// Not stackable: direct-mapped template changes set count per size.
+	dm, dmCfgs, err := NewSizeStream(cache.Config{BlockBytes: 64, Assoc: 1}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm != nil {
+		t.Fatal("direct-mapped sweep must not stream (geometry varies with size)")
+	}
+	if len(dmCfgs) != len(sizes) {
+		t.Fatalf("fallback configs: got %d, want %d", len(dmCfgs), len(sizes))
+	}
+
+	// Empty sweep.
+	if _, cfgs, err := NewSizeStream(tmpl, nil); err != nil || len(cfgs) != 0 {
+		t.Fatalf("empty sweep: cfgs=%v err=%v", cfgs, err)
+	}
+}
+
+// TestStreamPassZeroAlloc pins the zero-alloc steady state of the
+// stack-update inner loop: once the working set has been touched (all
+// stacks at capacity, histogram sized), replaying the same trace
+// allocates nothing.
+func TestStreamPassZeroAlloc(t *testing.T) {
+	tr := genTrace(43, 2000)
+	s, err := NewStream(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Replay(s) // warm: grows stacks and histogram
+	avg := testing.AllocsPerRun(10, func() {
+		tr.Replay(s)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state StreamPass.Run allocates %.1f times per replay, want 0", avg)
+	}
+}

@@ -122,6 +122,14 @@ type sweepObs struct {
 	simsMemoized *obs.Counter
 	stackDerived *obs.Counter
 	tracePasses  *obs.Counter
+	passReused   *obs.Counter
+	shardedSims  *obs.Counter
+}
+
+// passKey identifies one stack pass by trace content and geometry.
+type passKey struct {
+	fp           uint64
+	block, nSets int
 }
 
 // Engine memoizes and schedules cache measurements. The zero value is
@@ -129,12 +137,21 @@ type sweepObs struct {
 type Engine struct {
 	mu   sync.Mutex
 	memo map[simKey]cache.Stats
-	obs  atomic.Pointer[sweepObs]
+	// passes retains every completed stack pass by (trace fingerprint,
+	// geometry). A later request for an organisation the pass covers —
+	// a new cache size of an already-swept geometry, the classic
+	// SweepSizes overlap — is derived arithmetically instead of costing
+	// another trace pass (counter sweep.stack_pass_reused).
+	passes map[passKey]*sweep.StackPass
+	obs    atomic.Pointer[sweepObs]
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{memo: make(map[simKey]cache.Stats)}
+	return &Engine{
+		memo:   make(map[simKey]cache.Stats),
+		passes: make(map[passKey]*sweep.StackPass),
+	}
 }
 
 // sharedEngine backs every measurement in this package, so results are
@@ -156,7 +173,25 @@ func (e *Engine) AttachObs(r *obs.Registry) {
 		simsMemoized: r.Counter("sweep.sims_memoized"),
 		stackDerived: r.Counter("sweep.stack_pass_sizes"),
 		tracePasses:  r.Counter("sweep.trace_passes"),
+		passReused:   r.Counter("sweep.stack_pass_reused"),
+		shardedSims:  r.Counter("sweep.sharded_sims"),
 	})
+}
+
+// SweepSizes measures the template organisation at every cache size
+// through the engine: requests route into Batch, so results come from
+// the memo, a retained stack pass, or a minimal set of new trace
+// passes (one stack pass for a fully associative template — the
+// classic Mattson sweep — one broadcast replay otherwise). Results are
+// in input order and identical to sequential cache.Simulate.
+func (e *Engine) SweepSizes(tr *memtrace.Trace, template cache.Config, sizes []int) ([]cache.Stats, error) {
+	reqs := make([]SimRequest, len(sizes))
+	for i, s := range sizes {
+		cfg := template
+		cfg.SizeBytes = s
+		reqs[i] = SimRequest{Trace: tr, Config: cfg}
+	}
+	return e.Batch(reqs)
 }
 
 // Simulate measures one (trace, organisation) pair through the memo.
@@ -207,15 +242,22 @@ func (e *Engine) Batch(reqs []SimRequest) ([]cache.Stats, error) {
 		keys[i] = simKey{fp: fp, cfg: canonicalize(rq.Config)}
 	}
 
-	// Resolve memo hits and collect the distinct keys still to run,
-	// remembering a representative trace per key and per fingerprint.
+	// Resolve memo hits — including organisations a retained stack
+	// pass already covers — and collect the distinct keys still to
+	// run, remembering a representative trace per key and fingerprint.
 	pending := make(map[simKey]*memtrace.Trace)
-	var memoized, deduped uint64
+	var memoized, deduped, passHits uint64
 	e.mu.Lock()
 	for i, k := range keys {
 		if st, ok := e.memo[k]; ok {
 			out[i] = st
 			memoized++
+			continue
+		}
+		if st, ok := e.passStats(k); ok {
+			e.memo[k] = st
+			out[i] = st
+			passHits++
 			continue
 		}
 		if _, ok := pending[k]; ok {
@@ -227,8 +269,10 @@ func (e *Engine) Batch(reqs []SimRequest) ([]cache.Stats, error) {
 	e.mu.Unlock()
 	if o != nil {
 		o.simsMemoized.Add(memoized + deduped)
+		o.passReused.Add(passHits)
 		o.simsRun.Add(uint64(len(pending)))
 		sp.SetAttrInt("memo_hits", int64(memoized+deduped))
+		sp.SetAttrInt("pass_reused", int64(passHits))
 		sp.SetAttrInt("sims", int64(len(pending)))
 		if len(pending) == 0 {
 			// A fully-memoized batch leaves no task span behind; the
@@ -243,10 +287,17 @@ func (e *Engine) Batch(reqs []SimRequest) ([]cache.Stats, error) {
 	}
 
 	units := e.plan(pending)
+	// Leftover pool parallelism shards individual simulations by set
+	// band: with fewer units than workers, each replay unit may fan one
+	// trace across the idle workers (cache.ShardSimulate).
+	shardWorkers := 0
+	if n := len(units); n > 0 {
+		shardWorkers = shardPool / n
+	}
 	results := make(map[simKey]cache.Stats, len(pending))
 	var resMu sync.Mutex
 	if err := runUnits(o, units, func(u workUnit) error {
-		got, err := u.run()
+		got, p, err := u.run(o, shardWorkers)
 		if err != nil {
 			return err
 		}
@@ -255,6 +306,11 @@ func (e *Engine) Batch(reqs []SimRequest) ([]cache.Stats, error) {
 			results[k] = got[i]
 		}
 		resMu.Unlock()
+		if p != nil {
+			e.mu.Lock()
+			e.passes[passKey{fp: u.keys[0].fp, block: u.blockBytes, nSets: u.nSets}] = p
+			e.mu.Unlock()
+		}
 		if o != nil {
 			o.tracePasses.Inc()
 			if u.stack {
@@ -338,28 +394,75 @@ func (e *Engine) plan(pending map[simKey]*memtrace.Trace) []workUnit {
 	return units
 }
 
-// run executes one trace pass and returns stats aligned with u.keys.
-func (u workUnit) run() ([]cache.Stats, error) {
+// passStats serves k from a retained stack pass, if one covers it.
+// Caller holds e.mu.
+func (e *Engine) passStats(k simKey) (cache.Stats, bool) {
+	cfg := k.cfg.config()
+	if !sweep.Eligible(cfg) {
+		return cache.Stats{}, false
+	}
+	block, sets := sweep.Geometry(cfg)
+	p := e.passes[passKey{fp: k.fp, block: block, nSets: sets}]
+	if p == nil {
+		return cache.Stats{}, false
+	}
+	st, err := p.Stats(cfg)
+	if err != nil {
+		return cache.Stats{}, false
+	}
+	return st, true
+}
+
+// shardPool is the parallelism available for intra-trace sharding.
+// Deliberately NOT floored at two like the unit pool: sharding splits
+// real simulation work, so on a single-core machine the skip-ahead and
+// merge overhead would only slow the batch down. Variable for tests.
+var shardPool = runtime.GOMAXPROCS(0)
+
+// shardMinInstrs gates sharding to traces long enough that the
+// per-worker replay amortises goroutine startup and the per-run merge.
+// Variable for tests.
+var shardMinInstrs uint64 = 1 << 16
+
+// run executes one trace pass and returns stats aligned with u.keys,
+// plus the stack pass for the engine to retain (nil for replays). A
+// replay unit with a single shardable organisation and spare pool
+// parallelism runs through the set-sharded simulator instead.
+func (u workUnit) run(o *sweepObs, shardWorkers int) ([]cache.Stats, *sweep.StackPass, error) {
 	if u.stack {
 		p, err := sweep.Run(u.tr, u.blockBytes, u.nSets)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out := make([]cache.Stats, len(u.keys))
 		for i, k := range u.keys {
 			st, err := p.Stats(k.cfg.config())
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			out[i] = st
 		}
-		return out, nil
+		return out, p, nil
+	}
+	if len(u.keys) == 1 && shardWorkers >= 2 && u.tr.Instrs >= shardMinInstrs {
+		cfg := u.keys[0].cfg.config()
+		if cache.ShardEligible(cfg) {
+			st, err := cache.ShardSimulate(cfg, u.tr, shardWorkers)
+			if err != nil {
+				return nil, nil, err
+			}
+			if o != nil {
+				o.shardedSims.Inc()
+			}
+			return []cache.Stats{st}, nil, nil
+		}
 	}
 	cfgs := make([]cache.Config, len(u.keys))
 	for i, k := range u.keys {
 		cfgs[i] = k.cfg.config()
 	}
-	return cache.MultiSimulate(cfgs, u.tr)
+	out, err := cache.MultiSimulate(cfgs, u.tr)
+	return out, nil, err
 }
 
 // runUnits executes the units on a fixed channel-fed worker pool

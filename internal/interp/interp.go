@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"impact/internal/ir"
 	"impact/internal/xrand"
@@ -105,10 +106,25 @@ type frame struct {
 // Engine executes one program. An Engine precomputes per-block call
 // positions and per-run jittered arc probabilities, so constructing
 // one Engine and running it many times with different seeds is cheap.
+// An Engine is safe for concurrent Run calls.
 type Engine struct {
 	prog *ir.Program
 	// callPos[f][b] lists instruction indices of calls in the block.
 	callPos [][][]int32
+	// probsCache holds the jittered-probability tables of the most
+	// recent run. Re-running the same seed — tracing the same "input"
+	// under a second layout, or re-deriving a memoized trace — skips
+	// the whole-program table rebuild. Lock-free: entries are
+	// immutable once published.
+	probsCache atomic.Pointer[probsEntry]
+}
+
+// probsEntry is one cached jittered-probability table, keyed by the
+// derived probability seed and the jitter amplitude.
+type probsEntry struct {
+	seed   uint64
+	jitter float64
+	probs  [][][]float64
 }
 
 // NewEngine prepares p for execution. The program must be valid.
@@ -144,7 +160,14 @@ func (e *Engine) Run(seed uint64, cfg Config, sink Sink) (Result, error) {
 		return Result{}, fmt.Errorf("interp: ProbJitter %v outside [0, 1)", cfg.ProbJitter)
 	}
 	rng := xrand.New(xrand.Seed(seed, 0x45c0))
-	probs := e.jitteredProbs(xrand.Seed(seed, 0x11f7), cfg.ProbJitter)
+	pseed := xrand.Seed(seed, 0x11f7)
+	var probs [][][]float64
+	if c := e.probsCache.Load(); c != nil && c.seed == pseed && c.jitter == cfg.ProbJitter {
+		probs = c.probs
+	} else {
+		probs = e.jitteredProbs(pseed, cfg.ProbJitter)
+		e.probsCache.Store(&probsEntry{seed: pseed, jitter: cfg.ProbJitter, probs: probs})
+	}
 
 	var res Result
 	prog := e.prog

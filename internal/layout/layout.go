@@ -17,6 +17,7 @@ package layout
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"impact/internal/interp"
 	"impact/internal/ir"
@@ -168,14 +169,55 @@ func (t *Tracer) Exec(f ir.FuncID, b ir.BlockID, lo, hi int32) {
 	})
 }
 
+// engineFor returns an execution engine for p, reusing the most
+// recently built one when the program matches. Tracing the same
+// program under several layouts (optimized vs natural, or derived
+// pipeline variants) re-runs the engine instead of re-deriving its
+// call-position tables, and — together with the engine's own
+// jittered-probability cache — makes repeat runs of one seed cheap.
+// Engines are immutable after construction, so sharing one across
+// goroutines is safe; the cache itself is a single lock-free entry.
+func engineFor(p *ir.Program) *interp.Engine {
+	if e := engines.Load(); e != nil && e.prog == p {
+		return e.eng
+	}
+	eng := interp.NewEngine(p)
+	engines.Store(&engineEntry{prog: p, eng: eng})
+	return eng
+}
+
+type engineEntry struct {
+	prog *ir.Program
+	eng  *interp.Engine
+}
+
+var engines atomic.Pointer[engineEntry]
+
+// Stream runs the program once with the given seed under layout lay,
+// feeding the fetch trace to sink as canonical runs (zero-length runs
+// dropped, contiguous runs merged — the exact sequence replaying a
+// materialized Trace would deliver) without materializing it. This is
+// the zero-copy path from the execution engine into the streaming
+// simulators (cache.SinkSimulator, sweep.StreamPass).
+func Stream(lay *Layout, seed uint64, cfg interp.Config, sink memtrace.Sink) (interp.Result, error) {
+	m := memtrace.NewMerger(sink)
+	res, err := engineFor(lay.Program()).Run(seed, cfg, NewTracer(lay, m))
+	if err != nil {
+		return res, err
+	}
+	m.Flush()
+	return res, nil
+}
+
 // Trace runs program p once with the given seed under layout lay and
-// returns the resulting fetch trace.
+// returns the resulting fetch trace. The trace accumulates in a
+// chunked buffer and is sealed with one exact-size allocation, so
+// building a multi-million-run trace never re-copies it.
 func Trace(lay *Layout, seed uint64, cfg interp.Config) (*memtrace.Trace, interp.Result, error) {
-	var tr memtrace.Trace
-	eng := interp.NewEngine(lay.Program())
-	res, err := eng.Run(seed, cfg, NewTracer(lay, &tr))
+	var buf memtrace.Buffer
+	res, err := engineFor(lay.Program()).Run(seed, cfg, NewTracer(lay, &buf))
 	if err != nil {
 		return nil, res, err
 	}
-	return &tr, res, nil
+	return buf.Seal(), res, nil
 }

@@ -1,0 +1,264 @@
+package memtrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file is the streaming side of the package: producers and
+// consumers that handle a run stream incrementally, without ever
+// materializing a Trace. The canonical run sequence — the one Trace
+// stores and Replay delivers — drops zero-length runs and merges
+// address-contiguous neighbours; every streaming component here
+// reproduces exactly that sequence, so a sink cannot tell whether it
+// sits behind a materialized trace or a live stream. The differential
+// tests in internal/cache and internal/experiments pin this
+// bit-for-bit.
+
+// Merger canonicalises a run stream exactly like Trace.Run does:
+// zero-length runs are dropped and a run contiguous with the previous
+// one merges into it. The sink behind a Merger therefore observes the
+// identical run sequence that materializing a Trace and replaying it
+// would deliver. Call Flush once the stream ends to emit the final
+// pending run.
+type Merger struct {
+	sink    Sink
+	pending Run
+	started bool
+}
+
+// NewMerger returns a Merger feeding sink.
+func NewMerger(sink Sink) *Merger { return &Merger{sink: sink} }
+
+// Run accepts one raw run.
+func (m *Merger) Run(r Run) {
+	if r.Bytes == 0 {
+		return
+	}
+	if !m.started {
+		m.started = true
+		m.pending = r
+		return
+	}
+	if m.pending.Addr+m.pending.Bytes == r.Addr {
+		m.pending.Bytes += r.Bytes
+		return
+	}
+	m.sink.Run(m.pending)
+	m.pending = r
+}
+
+// Flush emits the pending run, if any. The Merger is reusable
+// afterwards: the next Run starts a fresh stream.
+func (m *Merger) Flush() {
+	if m.started {
+		m.sink.Run(m.pending)
+		m.started = false
+	}
+}
+
+// Tee fans one run stream out to several sinks, in argument order.
+func Tee(sinks ...Sink) Sink { return teeSink(sinks) }
+
+type teeSink []Sink
+
+func (t teeSink) Run(r Run) {
+	for _, s := range t {
+		s.Run(r)
+	}
+}
+
+// RunCount is a Sink that counts the runs and instruction fetches it
+// observes — the streaming stand-in for len(Trace.Runs) and
+// Trace.Instrs when no trace is materialized. Place it behind a Merger
+// (or another canonical source such as Reader) to count canonical runs.
+type RunCount struct {
+	Runs   int
+	Instrs uint64
+}
+
+// Run accumulates one run.
+func (c *RunCount) Run(r Run) {
+	c.Runs++
+	c.Instrs += uint64(r.Words())
+}
+
+// Reader decodes a binary trace stream (the Writer format) one run at
+// a time. Unlike Read it never materializes the run list: memory stays
+// constant regardless of trace length, which is what lets a simulator
+// consume arbitrarily long trace files. Next yields the same canonical
+// run sequence Read would store — adjacent contiguous runs in the file
+// merge before they are returned — and fails with the same ErrBadTrace
+// diagnostics on malformed input.
+type Reader struct {
+	br      *bufio.Reader
+	prevEnd int64
+	i       int // run index, for error messages
+	pending Run
+	started bool
+	done    bool
+}
+
+// NewReader checks the magic header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, m[:])
+	}
+	return &Reader{br: br}, nil
+}
+
+// next decodes one raw (pre-merge) run from the stream.
+func (rd *Reader) next() (Run, error) {
+	if _, err := rd.br.Peek(1); err == io.EOF {
+		return Run{}, io.EOF
+	}
+	delta, err := binary.ReadVarint(rd.br)
+	if err != nil {
+		return Run{}, fmt.Errorf("%w: run %d address: %v", ErrBadTrace, rd.i, err)
+	}
+	bytes, err := binary.ReadUvarint(rd.br)
+	if err != nil {
+		return Run{}, fmt.Errorf("%w: run %d length: %v", ErrBadTrace, rd.i, err)
+	}
+	addr := rd.prevEnd + delta
+	if addr < 0 || addr > 1<<32-1 || bytes == 0 || bytes > 1<<32-1 ||
+		addr+int64(bytes) > 1<<32 || bytes%WordBytes != 0 || addr%WordBytes != 0 {
+		return Run{}, fmt.Errorf("%w: run %d out of range (addr=%d bytes=%d)", ErrBadTrace, rd.i, addr, bytes)
+	}
+	rd.i++
+	rd.prevEnd = addr + int64(bytes)
+	return Run{Addr: uint32(addr), Bytes: uint32(bytes)}, nil
+}
+
+// Next returns the next canonical run, or io.EOF at the end of the
+// stream. Any other error is a malformed trace (ErrBadTrace).
+func (rd *Reader) Next() (Run, error) {
+	if rd.done {
+		return Run{}, io.EOF
+	}
+	for {
+		r, err := rd.next()
+		if err == io.EOF {
+			rd.done = true
+			if rd.started {
+				rd.started = false
+				return rd.pending, nil
+			}
+			return Run{}, io.EOF
+		}
+		if err != nil {
+			rd.done = true
+			return Run{}, err
+		}
+		if !rd.started {
+			rd.started = true
+			rd.pending = r
+			continue
+		}
+		if rd.pending.Addr+rd.pending.Bytes == r.Addr {
+			rd.pending.Bytes += r.Bytes
+			continue
+		}
+		out := rd.pending
+		rd.pending = r
+		return out, nil
+	}
+}
+
+// Replay feeds every remaining run to sink and returns the first
+// decode error, if any.
+func (rd *Reader) Replay(sink Sink) error {
+	for {
+		r, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		sink.Run(r)
+	}
+}
+
+// bufferChunkRuns is the Buffer chunk capacity: 4096 runs = 32KB per
+// chunk, large enough that chunk bookkeeping is negligible and small
+// enough that a growing trace never re-copies what it already stored.
+const bufferChunkRuns = 4096
+
+// Buffer accumulates a canonical run stream in fixed-size chunks. It
+// is the materialization point for streams that must be replayed more
+// than once (the experiments engine memoizes by trace content):
+// appending is O(1) with no re-copying — a Trace built by repeated
+// append re-copies its whole run slice on every growth step, which for
+// multi-million-run traces is a measurable share of trace
+// construction — and Seal converts to a Trace with a single
+// exact-size allocation.
+//
+// Buffer implements Sink with Trace.Run's canonicalisation (zero-length
+// runs dropped, contiguous runs merged), so sealing yields exactly the
+// Trace that feeding the same stream to Trace.Run would build.
+type Buffer struct {
+	chunks [][]Run
+	instrs uint64
+	runs   int
+}
+
+// Run appends one run, merging contiguous neighbours like Trace.Run.
+func (b *Buffer) Run(r Run) {
+	if r.Bytes == 0 {
+		return
+	}
+	b.instrs += uint64(r.Words())
+	if b.runs > 0 {
+		tail := b.chunks[len(b.chunks)-1]
+		last := &tail[len(tail)-1]
+		if last.Addr+last.Bytes == r.Addr {
+			last.Bytes += r.Bytes
+			return
+		}
+	}
+	if n := len(b.chunks); n == 0 || len(b.chunks[n-1]) == bufferChunkRuns {
+		b.chunks = append(b.chunks, make([]Run, 0, bufferChunkRuns))
+	}
+	n := len(b.chunks) - 1
+	b.chunks[n] = append(b.chunks[n], r)
+	b.runs++
+}
+
+// Len returns the number of canonical runs buffered so far.
+func (b *Buffer) Len() int { return b.runs }
+
+// Instrs returns the instruction fetches buffered so far.
+func (b *Buffer) Instrs() uint64 { return b.instrs }
+
+// Replay feeds every buffered run to sink.
+func (b *Buffer) Replay(sink Sink) {
+	for _, ch := range b.chunks {
+		for _, r := range ch {
+			sink.Run(r)
+		}
+	}
+}
+
+// Seal converts the buffer into a Trace with one exact-size
+// allocation. The buffer is reset and can be reused.
+func (b *Buffer) Seal() *Trace {
+	t := &Trace{Instrs: b.instrs}
+	if b.runs > 0 {
+		t.Runs = make([]Run, 0, b.runs)
+		for _, ch := range b.chunks {
+			t.Runs = append(t.Runs, ch...)
+		}
+	}
+	b.chunks = nil
+	b.instrs = 0
+	b.runs = 0
+	return t
+}

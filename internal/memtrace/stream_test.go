@@ -1,0 +1,276 @@
+package memtrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// randomRuns produces a word-aligned run sequence with contiguous
+// stretches (exercising the merge path) and jumps.
+func randomRuns(rng *rand.Rand, n int) []Run {
+	runs := make([]Run, 0, n)
+	addr := uint32(rng.Intn(1<<16) * WordBytes)
+	for i := 0; i < n; i++ {
+		bytes := uint32(rng.Intn(64)+1) * WordBytes
+		if addr > 1<<31 {
+			addr = uint32(rng.Intn(1<<16) * WordBytes)
+		}
+		runs = append(runs, Run{Addr: addr, Bytes: bytes})
+		if rng.Intn(3) == 0 {
+			addr += bytes // contiguous: must merge downstream
+		} else {
+			addr = uint32(rng.Intn(1<<20) * WordBytes)
+		}
+	}
+	return runs
+}
+
+func TestMergerMatchesTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		runs := randomRuns(rng, rng.Intn(200))
+		want := &Trace{}
+		for _, r := range runs {
+			want.Run(r)
+		}
+		got := &Trace{}
+		// Feed through a Merger into a raw collector that does NOT
+		// merge, so any merge must have happened in the Merger.
+		var collected []Run
+		m := NewMerger(sinkFunc(func(r Run) { collected = append(collected, r) }))
+		for _, r := range runs {
+			m.Run(r)
+		}
+		m.Flush()
+		for _, r := range collected {
+			got.Runs = append(got.Runs, r)
+			got.Instrs += uint64(r.Words())
+		}
+		if len(got.Runs) != len(want.Runs) || got.Instrs != want.Instrs {
+			t.Fatalf("trial %d: merger produced %d runs / %d instrs, Trace.Run %d / %d",
+				trial, len(got.Runs), got.Instrs, len(want.Runs), want.Instrs)
+		}
+		for i := range got.Runs {
+			if got.Runs[i] != want.Runs[i] {
+				t.Fatalf("trial %d run %d: merger %+v, Trace.Run %+v", trial, i, got.Runs[i], want.Runs[i])
+			}
+		}
+	}
+}
+
+type sinkFunc func(Run)
+
+func (f sinkFunc) Run(r Run) { f(r) }
+
+func TestMergerZeroAndReuse(t *testing.T) {
+	var collected []Run
+	m := NewMerger(sinkFunc(func(r Run) { collected = append(collected, r) }))
+	m.Run(Run{Addr: 0, Bytes: 0}) // dropped
+	m.Flush()                     // nothing pending
+	if len(collected) != 0 {
+		t.Fatalf("flush of empty merger emitted %v", collected)
+	}
+	m.Run(Run{Addr: 64, Bytes: 8})
+	m.Flush()
+	m.Run(Run{Addr: 128, Bytes: 4})
+	m.Flush()
+	want := []Run{{Addr: 64, Bytes: 8}, {Addr: 128, Bytes: 4}}
+	if len(collected) != 2 || collected[0] != want[0] || collected[1] != want[1] {
+		t.Fatalf("merger reuse: got %v, want %v", collected, want)
+	}
+}
+
+func TestReaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		runs := randomRuns(rng, rng.Intn(300))
+		var buf bytes.Buffer
+		wr := NewWriter(&buf)
+		for _, r := range runs {
+			wr.Run(r)
+		}
+		if err := wr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+
+		want, err := Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Trace
+		i := 0
+		for {
+			r, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i < len(want.Runs) && r != want.Runs[i] {
+				t.Fatalf("trial %d run %d: Reader %+v, Read %+v", trial, i, r, want.Runs[i])
+			}
+			got.Runs = append(got.Runs, r)
+			got.Instrs += uint64(r.Words())
+			i++
+		}
+		if len(got.Runs) != len(want.Runs) || got.Instrs != want.Instrs {
+			t.Fatalf("trial %d: Reader yielded %d runs / %d instrs, Read %d / %d",
+				trial, len(got.Runs), got.Instrs, len(want.Runs), want.Instrs)
+		}
+		// Next after EOF stays EOF.
+		if _, err := rd.Next(); err != io.EOF {
+			t.Fatalf("Next after EOF: %v, want io.EOF", err)
+		}
+	}
+}
+
+func TestReaderReplay(t *testing.T) {
+	var buf bytes.Buffer
+	wr := NewWriter(&buf)
+	runs := []Run{{Addr: 0, Bytes: 64}, {Addr: 256, Bytes: 16}, {Addr: 272, Bytes: 8}}
+	for _, r := range runs {
+		wr.Run(r)
+	}
+	if err := wr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	if err := rd.Replay(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Instrs != want.Instrs || len(got.Runs) != len(want.Runs) {
+		t.Fatalf("Replay: %d runs / %d instrs, want %d / %d", len(got.Runs), got.Instrs, len(want.Runs), want.Instrs)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("ITR1xxxx"))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad magic: %v, want ErrBadTrace", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("empty input: %v, want ErrBadTrace", err)
+	}
+
+	// A malformed body must fail through Next with ErrBadTrace, in
+	// agreement with Read on the same bytes.
+	bad := [][]byte{
+		append([]byte("ITR2"), 0x80),                      // truncated varint
+		append([]byte("ITR2"), encodeRun(-8, 16)...),      // negative address
+		append([]byte("ITR2"), encodeRun(0, 7)...),        // unaligned length
+		append([]byte("ITR2"), encodeRun(3, 8)...),        // unaligned address
+		append([]byte("ITR2"), encodeRun(1<<33, 8)...),    // address out of range
+		append([]byte("ITR2"), encodeRun(0, 0)...),        // zero length
+		append([]byte("ITR2"), encodeRun(1<<32-8, 16)...), // end past 2^32
+	}
+	for i, data := range bad {
+		if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: Read accepted malformed trace (%v)", i, err)
+		}
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("case %d: header rejected: %v", i, err)
+		}
+		_, err = rd.Next()
+		if !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: Reader.Next = %v, want ErrBadTrace", i, err)
+		}
+		// Errors are sticky: the reader does not resynchronise.
+		if _, err2 := rd.Next(); err2 != io.EOF && !errors.Is(err2, ErrBadTrace) {
+			t.Errorf("case %d: Next after error = %v", i, err2)
+		}
+	}
+}
+
+// encodeRun emits one varint(delta) uvarint(bytes) record.
+func encodeRun(delta int64, bytes uint64) []byte {
+	var b [2 * binary.MaxVarintLen64]byte
+	n := binary.PutVarint(b[:], delta)
+	n += binary.PutUvarint(b[n:], bytes)
+	return b[:n]
+}
+
+func TestBufferMatchesTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		// Cross chunk boundaries in some trials.
+		n := rng.Intn(300)
+		if trial%5 == 0 {
+			n = bufferChunkRuns + rng.Intn(2*bufferChunkRuns)
+		}
+		runs := randomRuns(rng, n)
+		want := &Trace{}
+		var buf Buffer
+		for _, r := range runs {
+			want.Run(r)
+			buf.Run(r)
+		}
+		if buf.Len() != len(want.Runs) || buf.Instrs() != want.Instrs {
+			t.Fatalf("trial %d: buffer %d runs / %d instrs, Trace %d / %d",
+				trial, buf.Len(), buf.Instrs(), len(want.Runs), want.Instrs)
+		}
+		var replayed Trace
+		buf.Replay(sinkFunc(func(r Run) {
+			replayed.Runs = append(replayed.Runs, r)
+			replayed.Instrs += uint64(r.Words())
+		}))
+		got := buf.Seal()
+		if got.Instrs != want.Instrs || len(got.Runs) != len(want.Runs) {
+			t.Fatalf("trial %d: sealed %d runs / %d instrs, want %d / %d",
+				trial, len(got.Runs), got.Instrs, len(want.Runs), want.Instrs)
+		}
+		for i := range got.Runs {
+			if got.Runs[i] != want.Runs[i] {
+				t.Fatalf("trial %d run %d: sealed %+v, want %+v", trial, i, got.Runs[i], want.Runs[i])
+			}
+			if replayed.Runs[i] != want.Runs[i] {
+				t.Fatalf("trial %d run %d: replayed %+v, want %+v", trial, i, replayed.Runs[i], want.Runs[i])
+			}
+		}
+		// Seal resets: the buffer is reusable.
+		if buf.Len() != 0 || buf.Instrs() != 0 {
+			t.Fatalf("trial %d: buffer not reset after Seal", trial)
+		}
+		buf.Run(Run{Addr: 0, Bytes: 8})
+		if buf.Len() != 1 {
+			t.Fatalf("trial %d: buffer unusable after Seal", trial)
+		}
+	}
+}
+
+func TestTeeAndRunCount(t *testing.T) {
+	var a, b Trace
+	var count RunCount
+	tee := Tee(&a, &b, &count)
+	runs := []Run{{Addr: 0, Bytes: 64}, {Addr: 64, Bytes: 8}, {Addr: 256, Bytes: 16}}
+	for _, r := range runs {
+		tee.Run(r)
+	}
+	if a.Instrs != b.Instrs || a.Instrs != (64+8+16)/4 {
+		t.Fatalf("tee delivered different streams: a=%d b=%d", a.Instrs, b.Instrs)
+	}
+	// RunCount counts raw deliveries (3 runs), the traces merge to 2.
+	if count.Runs != 3 || count.Instrs != (64+8+16)/4 {
+		t.Fatalf("RunCount = %d runs / %d instrs, want 3 / 22", count.Runs, count.Instrs)
+	}
+	if len(a.Runs) != 2 {
+		t.Fatalf("trace merged to %d runs, want 2", len(a.Runs))
+	}
+}

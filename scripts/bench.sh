@@ -29,10 +29,14 @@
 #
 # The JSON maps each benchmark to its ns/op plus every custom metric
 # the benchmark reports (miss2K%, traffic2K%, ...), so performance and
-# correctness-bearing outputs are recorded side by side. The default
-# pattern covers the table benchmarks plus the BenchmarkAnalyze pair,
-# which records the static analyzer's wall time next to the
-# trace-driven simulator's on the same layouts and geometry.
+# correctness-bearing outputs are recorded side by side, along with the
+# wall-clock seconds of the whole `go test -bench` invocation
+# (wall_seconds, which includes the one-time suite preparation). The
+# default pattern covers the table benchmarks, the BenchmarkAnalyze
+# pair (static analyzer priced against the trace-driven simulator), and
+# the streaming pair (BenchmarkStreamSimulate: generate-and-simulate
+# with no materialized trace; BenchmarkShardSimulate: the set-sharded
+# simulator).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -64,17 +68,19 @@ fi
 
 SCALE="${IMPACT_BENCH_SCALE:-0.25}"
 BENCHTIME="${BENCHTIME:-3x}"
-PATTERN="${1:-^Benchmark(Table|Analyze)}"
+PATTERN="${1:-^Benchmark(Table|Analyze|Stream|Shard)}"
 if [ "$MODE" = compare ]; then
     OUT="$(mktemp /tmp/bench.XXXXXX.json)"
 else
     OUT="${OUT:-BENCH_PR6.json}"
 fi
 
+start=$(date +%s.%N)
 raw=$(IMPACT_BENCH_SCALE="$SCALE" go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" .)
+wall=$(date +%s.%N | awk -v s="$start" '{printf "%.1f", $1 - s}')
 printf '%s\n' "$raw"
 
-printf '%s\n' "$raw" | awk -v scale="$SCALE" -v benchtime="$BENCHTIME" '
+printf '%s\n' "$raw" | awk -v scale="$SCALE" -v benchtime="$BENCHTIME" -v wall="$wall" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -85,7 +91,7 @@ printf '%s\n' "$raw" | awk -v scale="$SCALE" -v benchtime="$BENCHTIME" '
     entry[n++] = sprintf("    \"%s\": { %s }", name, metrics)
 }
 END {
-    printf "{\n  \"scale\": %s,\n  \"benchtime\": \"%s\",\n  \"benchmarks\": {\n", scale, benchtime
+    printf "{\n  \"scale\": %s,\n  \"benchtime\": \"%s\",\n  \"wall_seconds\": %s,\n  \"benchmarks\": {\n", scale, benchtime, wall
     for (i = 0; i < n; i++)
         printf "%s%s\n", entry[i], (i < n - 1 ? "," : "")
     print "  }"
