@@ -27,9 +27,12 @@ import (
 
 	"impact/internal/analysis"
 	"impact/internal/cache"
+	"impact/internal/core/globallayout"
 	"impact/internal/experiments"
+	"impact/internal/ir"
 	"impact/internal/layout"
 	"impact/internal/profile"
+	"impact/internal/search"
 )
 
 var (
@@ -537,13 +540,15 @@ func BenchmarkShardSimulate(b *testing.B) {
 }
 
 // BenchmarkAnalyzeStatic times the static must/may analyzer over every
-// benchmark's optimized layout at the paper's default geometry: the
-// cost of miss bounds computed from the IR, profile, and addresses
-// alone, with no trace decoded (see docs/ANALYSIS.md). Compare with
+// benchmark's optimized layout: the cost of miss bounds computed from
+// the IR, profile, and addresses alone, with no trace decoded (see
+// docs/ANALYSIS.md). The Analyze* benchmarks run at 4KB/64B — the
+// largest Table-1 cache, where the analyzer is the layout search's
+// inner loop and its cost matters most. Compare with
 // BenchmarkAnalyzeSimulate for the analyzer-vs-simulation wall time.
 func BenchmarkAnalyzeStatic(b *testing.B) {
 	s := benchSuite(b)
-	geom := cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1}
+	geom := cache.Config{SizeBytes: 4096, BlockBytes: 64, Assoc: 1}
 	// The profile is the analyzer's input contract, not its cost.
 	weights := make([]*profile.Weights, len(s.Items))
 	for i, p := range s.Items {
@@ -571,12 +576,69 @@ func BenchmarkAnalyzeStatic(b *testing.B) {
 	b.ReportMetric(float64(upper)/1e6, "upperM")
 }
 
+// BenchmarkAnalyzeIncremental times the incremental re-analyzer on
+// single-function moves: for every benchmark, one analysis.Incremental
+// scores an adjacent global-order swap of the optimized layout and
+// reverts it — the propose/score/reject cycle of the layout search
+// (internal/search), where each candidate differs from the incumbent
+// by one function move. Compare ns/op with BenchmarkAnalyzeStatic (a
+// from-scratch analysis of each layout) — the ratio is the per-move
+// speedup the search rides on.
+func BenchmarkAnalyzeIncremental(b *testing.B) {
+	s := benchSuite(b)
+	geom := cache.Config{SizeBytes: 4096, BlockBytes: 64, Assoc: 1}
+	engines := make([]*analysis.Incremental, len(s.Items))
+	moves := make([][]*layout.Layout, len(s.Items))
+	for i, p := range s.Items {
+		w, err := p.EvalWeights()
+		if err != nil {
+			b.Fatal(err)
+		}
+		inc, err := analysis.NewIncremental(p.Opt.Layout, w, analysis.Config{Cache: geom})
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines[i] = inc
+		// Four adjacent global-order swaps per benchmark, recomposed
+		// exactly as the pipeline composes (single-function moves).
+		for k := 0; k < 4 && k+1 < len(p.Opt.GlobalOrder.Funcs); k++ {
+			g := globallayout.Order{Funcs: append([]ir.FuncID(nil), p.Opt.GlobalOrder.Funcs...)}
+			g.Funcs[k], g.Funcs[k+1] = g.Funcs[k+1], g.Funcs[k]
+			lay, err := search.Compose(p.Opt.Prog, p.Opt.Orders, g, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			moves[i] = append(moves[i], lay)
+		}
+		if len(moves[i]) == 0 {
+			moves[i] = append(moves[i], p.Opt.Layout)
+		}
+	}
+	b.ResetTimer()
+	var upper uint64
+	for i := 0; i < b.N; i++ {
+		upper = 0
+		for j := range s.Items {
+			res, err := engines[j].Update(moves[j][i%len(moves[j])])
+			if err != nil {
+				b.Fatal(err)
+			}
+			upper += res.Bounds.Upper
+			if err := engines[j].Revert(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(upper)/1e6, "upperM")
+}
+
 // BenchmarkAnalyzeSimulate times the trace-driven simulator on the
 // same layouts and geometry, bypassing the sweep engine's memo — the
 // measurement the static bounds bracket, priced for comparison.
 func BenchmarkAnalyzeSimulate(b *testing.B) {
 	s := benchSuite(b)
-	geom := cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1}
+	geom := cache.Config{SizeBytes: 4096, BlockBytes: 64, Assoc: 1}
 	b.ResetTimer()
 	var misses uint64
 	for i := 0; i < b.N; i++ {

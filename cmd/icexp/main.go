@@ -5,7 +5,7 @@
 // Usage:
 //
 //	icexp [-scale 1.0] [-tables 1,2,3,...] [-ablations] [-extensions]
-//	      [-analyze] [-report] [-check off|warn|strict] [-v]
+//	      [-analyze] [-search] [-report] [-check off|warn|strict] [-v]
 //	      [-metrics-out m.json] [-trace-out t.json]
 //	      [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
@@ -17,8 +17,11 @@
 // analyzer (see docs/ANALYSIS.md) over every benchmark and geometry
 // and prints its must/may miss bounds next to the simulator's
 // measurements; under -check strict a bound violated by a measured
-// miss count fails the run. The observability flags are shared by all
-// commands; see docs/OBSERVABILITY.md.
+// miss count fails the run. -search runs the conflict-driven layout
+// search against the greedy pipeline at the Table-1 512B direct-mapped
+// geometry and prints the simulator-priced comparison (see
+// docs/SEARCH.md). The observability flags are shared by all commands;
+// see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -29,9 +32,11 @@ import (
 	"strings"
 	"time"
 
+	"impact/internal/cache"
 	"impact/internal/check"
 	"impact/internal/cliutil"
 	"impact/internal/experiments"
+	"impact/internal/search"
 )
 
 func main() {
@@ -40,6 +45,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies (A1-A3, A5, A6; A4 is bench-only)")
 	extensions := flag.Bool("extensions", false, "also run the extension experiments (E1 timing, E2 paging, E3 prefetch, E4 hierarchy, E5 extended suite)")
 	analyze := flag.Bool("analyze", false, "also run the static must/may analyzer and check its bounds against the simulator")
+	searchFlag := flag.Bool("search", false, "also run the conflict-driven layout search against the greedy pipeline")
 	report := flag.Bool("report", false, "also print each benchmark's per-stage locality ledger")
 	checkMode := flag.String("check", "off", "pipeline verification mode: off, warn, or strict")
 	common := cliutil.AddFlags(flag.CommandLine)
@@ -242,6 +248,18 @@ func main() {
 				}
 			}
 			return experiments.RenderBoundCheck(suite, rows), nil
+		})
+	}
+	if *searchFlag {
+		emit("search", func() (string, error) {
+			geom := cache.Config{SizeBytes: 512, BlockBytes: 64, Assoc: 1}
+			rows, err := experiments.SearchCompare(suite, geom, search.Config{
+				Seed: 1, Obs: common.Registry,
+			})
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderSearchCompare(geom, rows), nil
 		})
 	}
 	run := common.Registry.Counter("sweep.sims_run").Value()

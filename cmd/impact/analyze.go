@@ -1,23 +1,56 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"sort"
 
 	"impact/internal/analysis"
 	"impact/internal/cache"
 	"impact/internal/cliutil"
-	"impact/internal/layout"
 	"impact/internal/profile"
 	"impact/internal/texttable"
 )
+
+// analyzeJSON is the machine-readable shape of `impact analyze -json`:
+// one entry per analysed geometry, each carrying the full
+// analysis.Result (deterministically ordered rankings) plus the
+// simulator measurement when -measure is set. Consumers — the search
+// harness above all — parse this instead of scraping the tables.
+type analyzeJSON struct {
+	Benchmark string  `json:"benchmark"`
+	Strategy  string  `json:"strategy"`
+	Scale     float64 `json:"scale"`
+	// EffectiveBytes / TotalBytes describe the analysed layout.
+	EffectiveBytes int                 `json:"effective_bytes"`
+	TotalBytes     int                 `json:"total_bytes"`
+	Results        []analyzeJSONResult `json:"results"`
+}
+
+type analyzeJSONResult struct {
+	*analysis.Result
+	// Measured holds the simulated miss count when -measure was given.
+	Measured *measuredJSON `json:"measured,omitempty"`
+}
+
+type measuredJSON struct {
+	Misses   uint64 `json:"misses"`
+	Accesses uint64 `json:"accesses"`
+	// InBounds reports the bracket check (only meaningful when the
+	// bounds are exact).
+	InBounds bool `json:"in_bounds"`
+	Exact    bool `json:"exact"`
+}
 
 // cmdAnalyze runs the static cache-behavior analyzer on a benchmark's
 // laid-out program: layout-quality score, hot set conflicts, and
 // must/may miss bounds — computed from the IR, the profile, and the
 // addresses alone, with no trace decoded. With -measure it
 // additionally simulates the evaluation trace and reports the
-// measured misses next to the bounds (which must bracket them).
+// measured misses next to the bounds (which must bracket them). With
+// -json the whole report is emitted as one JSON object on stdout.
 func cmdAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	name, scale := benchFlag(fs)
@@ -27,6 +60,7 @@ func cmdAnalyze(args []string) {
 	topPairs := fs.Int("top-pairs", 8, "conflicting function pairs to report")
 	topFuncs := fs.Int("top-funcs", 10, "per-function bound rows to report")
 	measure := fs.Bool("measure", false, "also simulate the evaluation trace and verify the bracket")
+	jsonOut := fs.Bool("json", false, "emit the full report as JSON on stdout")
 	common := startCommon(fs, args)
 	defer common.MustClose()
 	b := mustBench(*name, *scale)
@@ -53,9 +87,15 @@ func cmdAnalyze(args []string) {
 		sizeList = []int{cf.Size}
 	}
 
-	fmt.Printf("benchmark %s, strategy %s: %d funcs, %s effective / %s total\n",
-		b.Name(), *strategy, len(res.Prog.Funcs),
-		texttable.KB(res.EffectiveBytes), texttable.KB(res.TotalBytes))
+	rep := analyzeJSON{
+		Benchmark: b.Name(), Strategy: *strategy, Scale: *scale,
+		EffectiveBytes: res.EffectiveBytes, TotalBytes: res.TotalBytes,
+	}
+	if !*jsonOut {
+		fmt.Printf("benchmark %s, strategy %s: %d funcs, %s effective / %s total\n",
+			b.Name(), *strategy, len(res.Prog.Funcs),
+			texttable.KB(res.EffectiveBytes), texttable.KB(res.TotalBytes))
+	}
 
 	for i, size := range sizeList {
 		ccfg := cf.Config()
@@ -68,12 +108,16 @@ func cmdAnalyze(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		if i == 0 {
+		ares.PerFunc = rankFuncBounds(ares.PerFunc)
+		jr := analyzeJSONResult{Result: ares}
+		if i == 0 && !*jsonOut {
 			// The layout score does not depend on the geometry.
 			fmt.Printf("layout score: fall-through %s of transfer weight, ext-TSP %.4f\n\n",
 				texttable.Pct(ares.Score.FallThroughRatio()), ares.Score.ExtTSP)
 		}
-		printAnalysis(b.Name(), ares)
+		if !*jsonOut {
+			printAnalysis(b.Name(), ares)
+		}
 		if *measure {
 			tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
 			if err != nil {
@@ -83,20 +127,37 @@ func cmdAnalyze(args []string) {
 			if err != nil {
 				fatal(err)
 			}
-			verdict := "within bounds"
-			if st.Misses < ares.Bounds.Lower || st.Misses > ares.Bounds.Upper {
-				verdict = "OUTSIDE BOUNDS"
+			in := st.Misses >= ares.Bounds.Lower && st.Misses <= ares.Bounds.Upper
+			exact := ares.Bounds.Exact && runs[0].Completed
+			jr.Measured = &measuredJSON{
+				Misses: st.Misses, Accesses: st.Accesses,
+				InBounds: in, Exact: exact,
 			}
-			if !ares.Bounds.Exact || !runs[0].Completed {
-				verdict = "bounds inexact (capped run)"
+			if !*jsonOut {
+				verdict := "within bounds"
+				if !in {
+					verdict = "OUTSIDE BOUNDS"
+				}
+				if !exact {
+					verdict = "bounds inexact (capped run)"
+				}
+				fmt.Printf("measured: %d misses (%s) — %s\n\n",
+					st.Misses, texttable.Pct3(st.MissRatio()), verdict)
 			}
-			fmt.Printf("measured: %d misses (%s) — %s\n\n",
-				st.Misses, texttable.Pct3(st.MissRatio()), verdict)
 		}
+		rep.Results = append(rep.Results, jr)
 	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if len(sizeList) == 1 {
-		printFuncBounds(res.Layout, w, cf.Config(), *topFuncs)
+		printFuncBounds(rep.Results[0].PerFunc, *topFuncs)
 	}
 }
 
@@ -152,20 +213,27 @@ func printAnalysis(name string, ares *analysis.Result) {
 	fmt.Println()
 }
 
-// printFuncBounds renders the hottest per-function bound rows.
-func printFuncBounds(lay *layout.Layout, w *profile.Weights, ccfg cache.Config, top int) {
-	ares, err := analysis.Analyze(lay, w, analysis.Config{Cache: ccfg})
-	if err != nil {
-		fatal(err)
-	}
-	rows := append([]analysis.FuncBounds(nil), ares.PerFunc...)
-	for i := 0; i < len(rows); i++ {
-		for j := i + 1; j < len(rows); j++ {
-			if rows[j].Upper > rows[i].Upper {
-				rows[i], rows[j] = rows[j], rows[i]
-			}
+// rankFuncBounds orders per-function bound rows hottest-first under a
+// total order — Upper descending, then Accesses descending, then
+// FuncID ascending — so rows with equal pressure keep a stable,
+// deterministic rank across runs and machines.
+func rankFuncBounds(rows []analysis.FuncBounds) []analysis.FuncBounds {
+	out := append([]analysis.FuncBounds(nil), rows...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Upper != out[j].Upper {
+			return out[i].Upper > out[j].Upper
 		}
-	}
+		if out[i].Accesses != out[j].Accesses {
+			return out[i].Accesses > out[j].Accesses
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// printFuncBounds renders the hottest per-function bound rows (already
+// ranked by rankFuncBounds).
+func printFuncBounds(rows []analysis.FuncBounds, top int) {
 	t := texttable.New("Per-function miss bounds (hottest first)",
 		"function", "fetches", "lower", "upper")
 	for i, r := range rows {

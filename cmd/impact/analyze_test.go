@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"impact/internal/analysis"
+	"impact/internal/cache"
+)
+
+// TestRankFuncBoundsDeterministic pins the total order of the
+// per-function ranking: Upper descending, Accesses descending, FuncID
+// ascending — any input permutation of rows with equal pressure must
+// produce the same output order.
+func TestRankFuncBoundsDeterministic(t *testing.T) {
+	rows := []analysis.FuncBounds{
+		{Func: 4, Name: "d", Upper: 10, Accesses: 5},
+		{Func: 1, Name: "a", Upper: 10, Accesses: 9},
+		{Func: 3, Name: "c", Upper: 10, Accesses: 9},
+		{Func: 0, Name: "z", Upper: 40, Accesses: 1},
+		{Func: 2, Name: "b", Upper: 10, Accesses: 5},
+	}
+	want := []analysis.FuncBounds{
+		{Func: 0, Name: "z", Upper: 40, Accesses: 1},
+		{Func: 1, Name: "a", Upper: 10, Accesses: 9},
+		{Func: 3, Name: "c", Upper: 10, Accesses: 9},
+		{Func: 2, Name: "b", Upper: 10, Accesses: 5},
+		{Func: 4, Name: "d", Upper: 10, Accesses: 5},
+	}
+	// Every rotation of the input must rank identically.
+	for shift := 0; shift < len(rows); shift++ {
+		in := append(append([]analysis.FuncBounds(nil), rows[shift:]...), rows[:shift]...)
+		got := rankFuncBounds(in)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shift %d: got %+v, want %+v", shift, got, want)
+		}
+	}
+}
+
+// TestAnalyzeJSONShape pins the wire format of `impact analyze -json`:
+// keys the search harness depends on must survive a marshal/unmarshal
+// round trip, and Measured must be omitted when absent.
+func TestAnalyzeJSONShape(t *testing.T) {
+	rep := analyzeJSON{
+		Benchmark: "grep", Strategy: "full", Scale: 0.25,
+		EffectiveBytes: 1024, TotalBytes: 2048,
+		Results: []analyzeJSONResult{{
+			Result: &analysis.Result{
+				Cache:  cache.Config{SizeBytes: 2048, BlockBytes: 64, Assoc: 1},
+				Bounds: analysis.Bounds{Lower: 3, Upper: 17, Accesses: 100, Exact: true},
+			},
+		}},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]any
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"benchmark", "strategy", "scale", "effective_bytes", "total_bytes", "results"} {
+		if _, ok := top[key]; !ok {
+			t.Errorf("missing top-level key %q in %s", key, data)
+		}
+	}
+	res := top["results"].([]any)[0].(map[string]any)
+	if _, ok := res["Bounds"]; !ok {
+		t.Errorf("missing Bounds in result: %s", data)
+	}
+	if _, ok := res["measured"]; ok {
+		t.Errorf("measured should be omitted when not measured: %s", data)
+	}
+
+	rep.Results[0].Measured = &measuredJSON{Misses: 7, Accesses: 100, InBounds: true, Exact: true}
+	data, err = json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back analyzeJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0].Measured == nil || back.Results[0].Measured.Misses != 7 {
+		t.Errorf("measured did not round-trip: %s", data)
+	}
+	if back.Results[0].Bounds.Upper != 17 {
+		t.Errorf("bounds did not round-trip: %s", data)
+	}
+}

@@ -23,7 +23,14 @@
 //	impact analyze -bench <name> [-scale 1.0] [-strategy ...] [cache flags]
 //	    Statically analyze a layout without decoding any trace: layout
 //	    quality score, hot cache-set conflicts, and must/may miss
-//	    bounds (add -measure to also simulate and verify the bracket).
+//	    bounds (add -measure to also simulate and verify the bracket;
+//	    add -json for machine-readable output).
+//
+//	impact search [-scale 1.0] [-bench <name>] [-seed 1] [-budget N]
+//	    [-restarts N] [cache flags]
+//	    Run the conflict-driven layout search against the greedy
+//	    pipeline and print the simulator-priced comparison (see
+//	    docs/SEARCH.md).
 //
 //	impact check -bench <name> [-all] [-scale 1.0] [-strategy ...]
 //	    Run the pipeline with the internal/check verifier enabled and
@@ -52,6 +59,7 @@ import (
 	"strconv"
 	"strings"
 
+	"impact/internal/cache"
 	"impact/internal/check"
 	"impact/internal/cliutil"
 	"impact/internal/core"
@@ -83,6 +91,8 @@ func main() {
 		cmdSimulate(os.Args[2:])
 	case "analyze":
 		cmdAnalyze(os.Args[2:])
+	case "search":
+		cmdSearch(os.Args[2:])
 	case "check":
 		cmdCheck(os.Args[2:])
 	case "dump":
@@ -95,7 +105,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: impact {list|profile|layout|trace|simulate|analyze|check|dump|run} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: impact {list|profile|layout|trace|simulate|analyze|search|check|dump|run} [flags]")
 	os.Exit(2)
 }
 
@@ -315,47 +325,79 @@ func cmdSimulate(args []string) {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	name, scale := benchFlag(fs)
 	cf := cliutil.AddCacheFlags(fs)
+	layoutSel := fs.String("layout", "both", "layouts to simulate: both, opt, or nat (a lone layout may set-shard across idle cores)")
 	common := startCommon(fs, args)
 	defer common.MustClose()
 	b := mustBench(*name, *scale)
 
 	cfg := cf.Config()
-
-	res := optimize(b, "full", common.Registry)
-	optTr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
-	if err != nil {
-		fatal(err)
-	}
-	natTr, _, err := layout.Trace(layout.Natural(b.Prog), b.EvalSeed, b.EvalConfig())
-	if err != nil {
-		fatal(err)
+	wantOpt := *layoutSel == "both" || *layoutSel == "opt"
+	wantNat := *layoutSel == "both" || *layoutSel == "nat"
+	if !wantOpt && !wantNat {
+		fatal(fmt.Errorf("unknown -layout %q (want both, opt, or nat)", *layoutSel))
 	}
 
-	// Both layouts measure through a sweep engine: size sweeps collapse
-	// into stack passes where the organisation permits, the two layouts
-	// simulate concurrently on the worker pool, and lone replays may
-	// shard by cache set when cores are spare.
+	var optTr, natTr *memtrace.Trace
+	if wantOpt {
+		res := optimize(b, "full", common.Registry)
+		tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
+		if err != nil {
+			fatal(err)
+		}
+		optTr = tr
+	}
+	if wantNat {
+		tr, _, err := layout.Trace(layout.Natural(b.Prog), b.EvalSeed, b.EvalConfig())
+		if err != nil {
+			fatal(err)
+		}
+		natTr = tr
+	}
+
+	// The layouts measure through a sweep engine: size sweeps collapse
+	// into stack passes where the organisation permits, concurrent
+	// layouts simulate on the worker pool, and lone replays may shard
+	// by cache set when cores are spare (sweep.sharded_sims counts
+	// them — the CI multi-core step asserts the path is exercised).
 	eng := experiments.NewEngine()
 	eng.AttachObs(common.Registry)
+	type laid struct {
+		label string
+		tr    *memtrace.Trace
+	}
+	var runs []laid
+	if wantOpt {
+		runs = append(runs, laid{"optimized", optTr})
+	}
+	if wantNat {
+		runs = append(runs, laid{"natural", natTr})
+	}
+
 	sizeList, err := cf.SizeList()
 	if err != nil {
 		fatal(err)
 	}
 	if sizeList != nil {
-		so, err := eng.SweepSizes(optTr, cfg, sizeList)
-		if err != nil {
-			fatal(err)
+		sweeps := make([][]cache.Stats, len(runs))
+		for i, r := range runs {
+			s, err := eng.SweepSizes(r.tr, cfg, sizeList)
+			if err != nil {
+				fatal(err)
+			}
+			sweeps[i] = s
 		}
-		sn, err := eng.SweepSizes(natTr, cfg, sizeList)
-		if err != nil {
-			fatal(err)
+		cols := []string{"size"}
+		for _, r := range runs {
+			short := r.label[:3]
+			cols = append(cols, short+" miss", short+" traffic")
 		}
-		t := texttable.New(fmt.Sprintf("%s size sweep (%dB blocks)", b.Name(), cfg.BlockBytes),
-			"size", "opt miss", "opt traffic", "nat miss", "nat traffic")
+		t := texttable.New(fmt.Sprintf("%s size sweep (%dB blocks)", b.Name(), cfg.BlockBytes), cols...)
 		for i := range sizeList {
-			t.Row(sizeList[i],
-				texttable.Pct3(so[i].MissRatio()), texttable.Pct(so[i].TrafficRatio()),
-				texttable.Pct3(sn[i].MissRatio()), texttable.Pct(sn[i].TrafficRatio()))
+			row := []any{sizeList[i]}
+			for _, s := range sweeps {
+				row = append(row, texttable.Pct3(s[i].MissRatio()), texttable.Pct(s[i].TrafficRatio()))
+			}
+			t.Row(row...)
 		}
 		fmt.Print(t.String())
 		return
@@ -364,19 +406,21 @@ func cmdSimulate(args []string) {
 		fatal(err)
 	}
 
-	stats, err := eng.Batch([]experiments.SimRequest{
-		{Trace: optTr, Config: cfg},
-		{Trace: natTr, Config: cfg},
-	})
+	reqs := make([]experiments.SimRequest, len(runs))
+	for i, r := range runs {
+		reqs[i] = experiments.SimRequest{Trace: r.tr, Config: cfg}
+	}
+	stats, err := eng.Batch(reqs)
 	if err != nil {
 		fatal(err)
 	}
-	so, sn := stats[0], stats[1]
 
 	t := texttable.New(fmt.Sprintf("%s on %s", b.Name(), cfg),
 		"layout", "miss", "traffic", "misses", "accesses")
-	t.Row("optimized", texttable.Pct3(so.MissRatio()), texttable.Pct(so.TrafficRatio()), so.Misses, so.Accesses)
-	t.Row("natural", texttable.Pct3(sn.MissRatio()), texttable.Pct(sn.TrafficRatio()), sn.Misses, sn.Accesses)
+	for i, r := range runs {
+		st := stats[i]
+		t.Row(r.label, texttable.Pct3(st.MissRatio()), texttable.Pct(st.TrafficRatio()), st.Misses, st.Accesses)
+	}
 	fmt.Print(t.String())
 }
 

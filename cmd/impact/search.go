@@ -1,0 +1,67 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"impact/internal/cliutil"
+	"impact/internal/experiments"
+	"impact/internal/search"
+)
+
+// cmdSearch runs the conflict-driven layout search (internal/search)
+// against the greedy pipeline on the prepared benchmark suite and
+// prints the simulator-priced comparison. The search walks global
+// function orders with moves seeded by the analyzer's ranked
+// set-pressure conflicts, scored by the incremental analyzer, with
+// periodic simulator checkpoints; every emitted layout passes the
+// strict layout analyzers before it is priced (see docs/SEARCH.md).
+func cmdSearch(args []string) {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "dynamic trace length multiplier")
+	bench := fs.String("bench", "", "restrict to one benchmark (default: whole suite)")
+	seed := fs.Uint64("seed", 1, "search RNG seed")
+	budget := fs.Int("budget", search.DefaultBudget, "evaluation budget per restart")
+	restarts := fs.Int("restarts", search.DefaultRestarts, "independent restarts")
+	cf := cliutil.AddCacheFlags(fs)
+	common := startCommon(fs, args)
+	defer common.MustClose()
+
+	ccfg := cf.Config()
+	if err := ccfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	suite, err := experiments.PrepareWith(*scale, experiments.Options{
+		Obs: common.Registry,
+		Log: slog.Default(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *bench != "" {
+		kept := suite.Items[:0]
+		for _, p := range suite.Items {
+			if p.Name() == *bench {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		suite.Items = kept
+	}
+
+	rows, err := experiments.SearchCompare(suite, ccfg, search.Config{
+		Seed: *seed, Budget: *budget, Restarts: *restarts,
+		Obs: common.Registry,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiments.RenderSearchCompare(ccfg, rows))
+	fmt.Printf("total time %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -217,6 +217,18 @@ func (g geom) fixpoint(sg *supergraph) *absResult {
 	dirty[sg.entry] = true
 	outM := make([]uint8, g.numLines)
 	outY := make([]uint8, g.numLines)
+	fx.iterations = g.converge(sg, fx, dirty, outM, outY)
+	return fx
+}
+
+// converge drains the dirty worklist in RPO sweeps until no in-state
+// changes, returning the number of region transfer evaluations. The
+// full analysis starts with only the entry dirty; the incremental
+// analyzer seeds dirty with the regions whose inputs changed. Joins
+// only ever propagate along successor edges, so regions that never
+// become dirty keep their states untouched.
+func (g geom) converge(sg *supergraph, fx *absResult, dirty []bool, outM, outY []uint8) int {
+	iterations := 0
 	for changed := true; changed; {
 		changed = false
 		for _, ri := range sg.rpo {
@@ -224,7 +236,7 @@ func (g geom) fixpoint(sg *supergraph) *absResult {
 				continue
 			}
 			dirty[ri] = false
-			fx.iterations++
+			iterations++
 			copy(outM, fx.mustIn[ri])
 			copy(outY, fx.mayIn[ri])
 			g.walk(&sg.regions[ri], outM, outY, nil)
@@ -238,7 +250,7 @@ func (g geom) fixpoint(sg *supergraph) *absResult {
 			}
 		}
 	}
-	return fx
+	return iterations
 }
 
 // Class is the static classification of one line reference.
@@ -248,8 +260,10 @@ const (
 	// ClassAlwaysHit marks references guaranteed to hit (line in the
 	// must cache on every path).
 	ClassAlwaysHit Class = iota
-	// ClassFirstMiss marks references to persistent lines (their set
-	// never exceeds its ways): at most one miss per cold start.
+	// ClassFirstMiss marks references to persistent lines: either the
+	// line's set never exceeds its ways program-wide (at most one miss
+	// per cold start), or the line survives within its reference's loop
+	// scope (at most one miss per scope entry; see persist.go).
 	ClassFirstMiss
 	// ClassAlwaysMiss marks references guaranteed to miss (line absent
 	// from the may cache on every path).
@@ -295,6 +309,11 @@ type Bounds struct {
 	// PersistentLines counts accessed lines whose set never exceeds
 	// its ways (at most one miss each per cold start).
 	PersistentLines int
+	// Scopes counts the cyclic region SCCs considered as persistence
+	// scopes (persist.go); ScopePools counts the (line, scope) pairs
+	// whose upper-bound weight was pooled under the scope's entry
+	// bound instead of counted per reference.
+	Scopes, ScopePools int
 	// Exact reports that the weights describe one complete execution
 	// (one run, no step cap), making the bounds a guarantee for that
 	// run's simulated trace rather than an estimate.
@@ -334,12 +353,20 @@ type FuncBounds struct {
 //
 // Lower: every always-miss reference misses on each of its weighted
 // executions. Upper: every non-always-hit reference may miss each
-// time, except references to persistent lines, which contribute at
-// most one miss per cold start (min'd with the run count).
-func classify(sg *supergraph, g geom, fx *absResult, p *ir.Program, w *profile.Weights) (Bounds, []FuncBounds) {
+// time, except references to persistent lines, whose misses are
+// bounded by how often their persistence scope is entered rather than
+// by the reference weights. Globally persistent lines (their set's
+// accessed footprint fits its ways) pool all their non-always-hit
+// weight capped at the run count; lines persistent only within their
+// reference's loop scope (persist.go) pool per (line, scope) capped at
+// the scope's entry bound. Both caps only ever replace a weight sum
+// with a min against it, so scope persistence tightens the upper bound
+// monotonically.
+func classify(sg *supergraph, g geom, fx *absResult, sc *sccInfo, fits [][]bool, p *ir.Program, w *profile.Weights) (Bounds, []FuncBounds) {
 	var b Bounds
 	b.Runs = w.Runs
 	b.Exact = w.Capped == 0 && w.Runs == 1
+	b.Scopes = len(sc.members)
 	runs := uint64(w.Runs)
 	if runs == 0 {
 		runs = 1
@@ -378,6 +405,7 @@ func classify(sg *supergraph, g geom, fx *absResult, p *ir.Program, w *profile.W
 	fUpper := make([]uint64, nFuncs)
 	fAccesses := make([]uint64, nFuncs)
 	nonAH := make([]uint64, g.numLines) // non-always-hit weight on persistent lines
+	scopePool := map[uint64]uint64{}    // scope<<32|line -> pooled non-AH weight
 
 	scM := make([]uint8, g.numLines)
 	scY := make([]uint8, g.numLines)
@@ -387,16 +415,22 @@ func classify(sg *supergraph, g geom, fx *absResult, p *ir.Program, w *profile.W
 		b.Accesses += fetches
 		fAccesses[r.f] += fetches
 
+		scope := sc.scope[ri]
+		var scopeFits []bool
+		if scope >= 0 {
+			scopeFits = fits[scope]
+		}
 		ref := func(l uint32, mustHit, mayMiss bool) {
 			b.LineRefs++
 			b.WeightedLineRefs += r.weight
+			inScope := scopeFits != nil && scopeFits[g.set(l)]
 			var cl Class
 			switch {
 			case mustHit:
 				cl = ClassAlwaysHit
 			case mayMiss:
 				cl = ClassAlwaysMiss
-			case persistent(l):
+			case persistent(l) || inScope:
 				cl = ClassFirstMiss
 			default:
 				cl = ClassUnclassified
@@ -409,25 +443,46 @@ func classify(sg *supergraph, g geom, fx *absResult, p *ir.Program, w *profile.W
 			}
 			if cl != ClassAlwaysHit {
 				fUpper[r.f] += r.weight
-				if persistent(l) {
+				switch {
+				case persistent(l):
 					nonAH[l] += r.weight
-				} else {
+				case inScope:
+					scopePool[uint64(scope)<<32|uint64(l)] += r.weight
+				default:
 					b.Upper += r.weight
 				}
 			}
 		}
+		l0, l1, ok := r.lineRange(g.blockBytes)
 		if fx.mustIn[ri] == nil {
 			// Unreachable in the supergraph (weight 0 when the weights
 			// are exact): count the static refs as unclassified.
-			if l0, l1, ok := r.lineRange(g.blockBytes); ok {
+			if ok {
 				for l := l0; l <= l1; l++ {
 					ref(l, false, false)
 				}
 			}
 			continue
 		}
-		copy(scM, fx.mustIn[ri])
-		copy(scY, fx.mayIn[ri])
+		if !ok {
+			continue
+		}
+		// The walk reads and ages only the cache-set columns of the
+		// region's span lines, so only those columns need copying into
+		// the scratch states; stale values elsewhere are never read.
+		// Span lines map to distinct sets while the span fits numSets.
+		in, inY := fx.mustIn[ri], fx.mayIn[ri]
+		if l1-l0+1 <= g.numSets {
+			for l := l0; l <= l1; l++ {
+				for y := g.set(l); y < g.numLines; y += g.numSets {
+					scM[y] = in[y]
+					scY[y] = inY[y]
+				}
+			}
+		} else {
+			copy(scM, in)
+			copy(scY, inY)
+		}
 		g.walk(r, scM, scY, ref)
 	}
 	for l := uint32(0); l < g.numLines; l++ {
@@ -439,6 +494,14 @@ func classify(sg *supergraph, g geom, fx *absResult, p *ir.Program, w *profile.W
 		} else {
 			b.Upper += runs
 		}
+	}
+	b.ScopePools = len(scopePool)
+	//lint:maprange uint64 additions commute; the sum is order-independent
+	for k, wgt := range scopePool {
+		if e := sc.entries[k>>32]; wgt > e {
+			wgt = e
+		}
+		b.Upper += wgt
 	}
 
 	var perFunc []FuncBounds

@@ -86,34 +86,8 @@ type Result struct {
 // abstract single-execution model of the aggregated weights and are
 // estimates, not guarantees (see docs/ANALYSIS.md).
 func Analyze(lay *layout.Layout, w *profile.Weights, cfg Config) (*Result, error) {
-	p := lay.Program()
-	if err := w.Check(p); err != nil {
-		return nil, fmt.Errorf("analysis: %w", err)
-	}
-	if err := cfg.Cache.Validate(); err != nil {
-		return nil, fmt.Errorf("analysis: %w", err)
-	}
-	switch {
-	case cfg.Cache.Replacement != cache.LRU:
-		return nil, fmt.Errorf("analysis: %v replacement is outside the abstract cache model (need LRU)", cfg.Cache.Replacement)
-	case cfg.Cache.SectorBytes != 0:
-		return nil, fmt.Errorf("analysis: sectored fills are outside the abstract cache model (whole-block only)")
-	case cfg.Cache.PartialLoad:
-		return nil, fmt.Errorf("analysis: partial loading is outside the abstract cache model (whole-block only)")
-	case cfg.Cache.PrefetchNext:
-		return nil, fmt.Errorf("analysis: prefetching is outside the abstract cache model")
-	}
-	if lay.Total == 0 {
-		return nil, fmt.Errorf("analysis: layout places no code")
-	}
-	if cfg.TopSets == 0 {
-		cfg.TopSets = 8
-	}
-	if cfg.TopLines == 0 {
-		cfg.TopLines = 4
-	}
-	if cfg.TopPairs == 0 {
-		cfg.TopPairs = 8
+	if err := validate(lay, w, &cfg); err != nil {
+		return nil, err
 	}
 
 	reg := cfg.Obs
@@ -127,15 +101,68 @@ func Analyze(lay *layout.Layout, w *profile.Weights, cfg Config) (*Result, error
 	sp = root.Span("fixpoint")
 	fx := g.fixpoint(sg)
 	sp.End()
-	sp = root.Span("classify")
-	bounds, perFunc := classify(sg, g, fx, p, w)
+	sp = root.Span("persist")
+	sc := buildScopes(sg, effectiveRuns(w))
+	fits := sc.computeFits(sg, g, nil)
 	sp.End()
 
+	return buildResult(sg, g, fx, sc, fits, lay, w, cfg, root), nil
+}
+
+// validate rejects inputs outside the abstract cache model and fills
+// in cfg's report-size defaults.
+func validate(lay *layout.Layout, w *profile.Weights, cfg *Config) error {
+	if err := w.Check(lay.Program()); err != nil {
+		return fmt.Errorf("analysis: %w", err)
+	}
+	if err := cfg.Cache.Validate(); err != nil {
+		return fmt.Errorf("analysis: %w", err)
+	}
+	switch {
+	case cfg.Cache.Replacement != cache.LRU:
+		return fmt.Errorf("analysis: %v replacement is outside the abstract cache model (need LRU)", cfg.Cache.Replacement)
+	case cfg.Cache.SectorBytes != 0:
+		return fmt.Errorf("analysis: sectored fills are outside the abstract cache model (whole-block only)")
+	case cfg.Cache.PartialLoad:
+		return fmt.Errorf("analysis: partial loading is outside the abstract cache model (whole-block only)")
+	case cfg.Cache.PrefetchNext:
+		return fmt.Errorf("analysis: prefetching is outside the abstract cache model")
+	}
+	if lay.Total == 0 {
+		return fmt.Errorf("analysis: layout places no code")
+	}
+	if cfg.TopSets == 0 {
+		cfg.TopSets = 8
+	}
+	if cfg.TopLines == 0 {
+		cfg.TopLines = 4
+	}
+	if cfg.TopPairs == 0 {
+		cfg.TopPairs = 8
+	}
+	return nil
+}
+
+func effectiveRuns(w *profile.Weights) uint64 {
+	if w.Runs <= 0 {
+		return 1
+	}
+	return uint64(w.Runs)
+}
+
+// buildResult runs the linear passes (classify, score, conflict) over
+// a converged fixpoint and assembles the Result — shared by the full
+// analysis and each incremental update.
+func buildResult(sg *supergraph, g geom, fx *absResult, sc *sccInfo, fits [][]bool, lay *layout.Layout, w *profile.Weights, cfg Config, root *obs.Span) *Result {
+	reg := cfg.Obs
+	sp := root.Span("classify")
+	bounds, perFunc := classify(sg, g, fx, sc, fits, lay.Program(), w)
+	sp.End()
 	sp = root.Span("score")
 	score := scoreLayout(lay, w)
 	sp.End()
 	sp = root.Span("conflict")
-	conflicts := conflictReport(sg, g, p, cfg.TopSets, cfg.TopLines, cfg.TopPairs)
+	conflicts := conflictReport(sg, g, lay.Program(), cfg.TopSets, cfg.TopLines, cfg.TopPairs)
 	sp.End()
 
 	res := &Result{
@@ -159,5 +186,7 @@ func Analyze(lay *layout.Layout, w *profile.Weights, cfg Config) (*Result, error
 	reg.Counter("analysis.first_miss").Add(res.Bounds.Refs[ClassFirstMiss])
 	reg.Counter("analysis.always_miss").Add(res.Bounds.Refs[ClassAlwaysMiss])
 	reg.Counter("analysis.unclassified").Add(res.Bounds.Refs[ClassUnclassified])
-	return res, nil
+	reg.Counter("analysis.scopes").Add(uint64(res.Bounds.Scopes))
+	reg.Counter("analysis.scope_pools").Add(uint64(res.Bounds.ScopePools))
+	return res
 }

@@ -13,6 +13,12 @@ import (
 // hot line is attributed to the function owning most of its bytes, so
 // the report can name the function pairs fighting over a set — the
 // candidates the paper's placement passes are supposed to separate.
+//
+// The pass is organised per cache set (conflictSet): one set's summary
+// depends only on the regions whose spans touch that set, so the
+// incremental analyzer recomputes just the sets where code moved and
+// keeps every other cached summary (see inclinear.go). The full report
+// is assembled from the per-set summaries either way.
 
 // LineShare is one cache line's contribution to a pressured set.
 type LineShare struct {
@@ -62,23 +68,95 @@ type ConflictReport struct {
 	Pairs []FuncPair
 }
 
-func conflictReport(sg *supergraph, g geom, p *ir.Program, topSets, topLines, topPairs int) ConflictReport {
-	// Distribute region weight over lines and attribute each line to
-	// the function covering most of its bytes.
-	lineW := make([]uint64, g.numLines)
-	ownerBytes := make([]map[ir.FuncID]uint32, g.numLines)
-	for ri := range sg.regions {
-		r := &sg.regions[ri]
-		if r.weight == 0 {
-			continue
+// confSet is one cache set's conflict summary. Treated as immutable
+// once built: recomputations replace the whole value, so report
+// slices handed out by assembleConflict stay valid.
+type confSet struct {
+	// lines holds every line of the set with executed fetch weight,
+	// sorted by weight descending, line ascending.
+	lines  []LineShare
+	weight uint64
+	// excess is the weight past the assoc hottest lines; 0 when the
+	// set does not overflow.
+	excess uint64
+	// funcs holds the per-function weights in the set, ascending by
+	// FuncID; nil unless the set overflows.
+	funcs []funcWeight
+}
+
+type funcWeight struct {
+	f ir.FuncID
+	w uint64
+}
+
+// confScratch holds the per-column accumulation arrays conflictSet
+// reuses across sets.
+type confScratch struct {
+	lw      []uint64    // per-column weight
+	ob      []uint32    // per-column owner byte count
+	of      []ir.FuncID // per-column owner
+	ab      []uint32    // current function's bytes per column
+	touched []int32
+}
+
+func (cs *confScratch) size(colLen int) {
+	if cap(cs.lw) < colLen {
+		cs.lw = make([]uint64, colLen)
+		cs.ob = make([]uint32, colLen)
+		cs.of = make([]ir.FuncID, colLen)
+		cs.ab = make([]uint32, colLen)
+	}
+	cs.lw = cs.lw[:colLen]
+	cs.ob = cs.ob[:colLen]
+	cs.of = cs.of[:colLen]
+	cs.ab = cs.ab[:colLen]
+	for i := 0; i < colLen; i++ {
+		cs.lw[i] = 0
+		cs.ob[i] = 0
+		cs.of[i] = ir.NoFunc
+		cs.ab[i] = 0
+	}
+	cs.touched = cs.touched[:0]
+}
+
+// conflictSet summarises one cache set: regs lists the regions with
+// executed weight whose span touches set s, ascending by region index
+// (which groups them by function — buildSupergraph appends regions
+// function by function). Each line is attributed to the function
+// covering most of its bytes; ties keep the smaller FuncID.
+func conflictSet(sg *supergraph, g geom, p *ir.Program, s uint32, regs []int32, cs *confScratch) confSet {
+	S, L := g.numSets, g.numLines
+	if s >= L {
+		return confSet{}
+	}
+	colLen := int((L-s-1)/S + 1)
+	cs.size(colLen)
+
+	cur := ir.NoFunc
+	flush := func() {
+		for _, u := range cs.touched {
+			if b := cs.ab[u]; b > cs.ob[u] || (b == cs.ob[u] && cs.of[u] != ir.NoFunc && cur < cs.of[u]) {
+				cs.ob[u] = b
+				cs.of[u] = cur
+			}
+			cs.ab[u] = 0
 		}
+		cs.touched = cs.touched[:0]
+	}
+	for _, ri := range regs {
+		r := &sg.regions[ri]
 		l0, l1, ok := r.lineRange(g.blockBytes)
 		if !ok {
 			continue
 		}
+		if r.f != cur {
+			flush()
+			cur = r.f
+		}
 		end := r.addr + uint32(r.words)*ir.InstrBytes
-		for l := l0; l <= l1; l++ {
-			lineW[l] += r.weight
+		for l := l0 + (s+S-l0%S)%S; l <= l1; l += S {
+			u := int((l - s) / S)
+			cs.lw[u] += r.weight
 			lo, hi := l*g.blockBytes, (l+1)*g.blockBytes
 			if r.addr > lo {
 				lo = r.addr
@@ -86,77 +164,100 @@ func conflictReport(sg *supergraph, g geom, p *ir.Program, topSets, topLines, to
 			if end < hi {
 				hi = end
 			}
-			if ownerBytes[l] == nil {
-				ownerBytes[l] = make(map[ir.FuncID]uint32)
+			if cs.ab[u] == 0 {
+				cs.touched = append(cs.touched, int32(u))
 			}
-			ownerBytes[l][r.f] += hi - lo
+			cs.ab[u] += hi - lo
 		}
 	}
-	owner := make([]ir.FuncID, g.numLines)
-	for l := range owner {
-		owner[l] = ir.NoFunc
-		var best uint32
-		//lint:maprange candidates re-sorted below; ties broken by FuncID
-		for f, bytes := range ownerBytes[l] {
-			if bytes > best || (bytes == best && owner[l] != ir.NoFunc && f < owner[l]) {
-				best = bytes
-				owner[l] = f
-			}
-		}
-	}
+	flush()
 
-	// Fold lines into sets and rank pressure.
-	rep := ConflictReport{}
-	type setInfo struct {
-		SetPressure
-		funcW map[ir.FuncID]uint64 // per-function weight in the set
+	var out confSet
+	for u := 0; u < colLen; u++ {
+		if cs.lw[u] == 0 {
+			continue
+		}
+		l := s + uint32(u)*S
+		ls := LineShare{Line: l, Addr: l * g.blockBytes, Weight: cs.lw[u], Func: cs.of[u]}
+		if ls.Func != ir.NoFunc {
+			ls.FuncName = p.Funcs[ls.Func].Name
+		}
+		out.lines = append(out.lines, ls)
+		out.weight += ls.Weight
 	}
-	var overflowing []*setInfo
-	var keep []SetPressure
-	for s := uint32(0); s < g.numSets; s++ {
-		var lines []LineShare
-		var total uint64
-		for l := s; l < g.numLines; l += g.numSets {
-			if lineW[l] == 0 {
+	if len(out.lines) <= int(g.assoc) {
+		return out
+	}
+	sort.Slice(out.lines, func(i, j int) bool {
+		if out.lines[i].Weight != out.lines[j].Weight {
+			return out.lines[i].Weight > out.lines[j].Weight
+		}
+		return out.lines[i].Line < out.lines[j].Line
+	})
+	for _, ls := range out.lines[g.assoc:] {
+		out.excess += ls.Weight
+	}
+	if out.excess == 0 {
+		return out
+	}
+	for _, ls := range out.lines {
+		if ls.Func == ir.NoFunc {
+			continue
+		}
+		found := false
+		for i := range out.funcs {
+			if out.funcs[i].f == ls.Func {
+				out.funcs[i].w += ls.Weight
+				found = true
+				break
+			}
+		}
+		if !found {
+			out.funcs = append(out.funcs, funcWeight{f: ls.Func, w: ls.Weight})
+		}
+	}
+	sort.Slice(out.funcs, func(i, j int) bool { return out.funcs[i].f < out.funcs[j].f })
+	return out
+}
+
+// applyPairs folds one overflowing set's per-function weights into the
+// pair accumulator with the given sign, removing keys that reach zero
+// (so the map always equals one built from scratch).
+func applyPairs(pairW map[[2]ir.FuncID]uint64, funcs []funcWeight, add bool) {
+	for i := 0; i < len(funcs); i++ {
+		for j := i + 1; j < len(funcs); j++ {
+			w := funcs[i].w
+			if funcs[j].w < w {
+				w = funcs[j].w
+			}
+			k := [2]ir.FuncID{funcs[i].f, funcs[j].f}
+			if add {
+				pairW[k] += w
 				continue
 			}
-			ls := LineShare{Line: l, Addr: l * g.blockBytes, Weight: lineW[l], Func: owner[l]}
-			if ls.Func != ir.NoFunc {
-				ls.FuncName = p.Funcs[ls.Func].Name
-			}
-			lines = append(lines, ls)
-			total += lineW[l]
-		}
-		if len(lines) <= int(g.assoc) {
-			continue
-		}
-		sort.Slice(lines, func(i, j int) bool {
-			if lines[i].Weight != lines[j].Weight {
-				return lines[i].Weight > lines[j].Weight
-			}
-			return lines[i].Line < lines[j].Line
-		})
-		var excess uint64
-		for _, ls := range lines[g.assoc:] {
-			excess += ls.Weight
-		}
-		if excess == 0 {
-			continue
-		}
-		rep.TotalExcess += excess
-		si := &setInfo{
-			SetPressure: SetPressure{Set: int(s), Weight: total, Excess: excess, Lines: lines},
-			funcW:       make(map[ir.FuncID]uint64),
-		}
-		for _, ls := range lines {
-			if ls.Func != ir.NoFunc {
-				si.funcW[ls.Func] += ls.Weight
+			if v := pairW[k] - w; v != 0 {
+				pairW[k] = v
+			} else {
+				delete(pairW, k)
 			}
 		}
-		overflowing = append(overflowing, si)
-		keep = append(keep, si.SetPressure)
 	}
+}
 
+// assembleConflict builds the ranked report from per-set summaries and
+// the pair accumulator.
+func assembleConflict(sets []confSet, pairW map[[2]ir.FuncID]uint64, p *ir.Program, topSets, topLines, topPairs int) ConflictReport {
+	rep := ConflictReport{}
+	var keep []SetPressure
+	for s := range sets {
+		if sets[s].excess == 0 {
+			continue
+		}
+		rep.TotalExcess += sets[s].excess
+		keep = append(keep, SetPressure{
+			Set: s, Weight: sets[s].weight, Excess: sets[s].excess, Lines: sets[s].lines,
+		})
+	}
 	sort.Slice(keep, func(i, j int) bool {
 		if keep[i].Excess != keep[j].Excess {
 			return keep[i].Excess > keep[j].Excess
@@ -173,25 +274,6 @@ func conflictReport(sg *supergraph, g geom, p *ir.Program, topSets, topLines, to
 	}
 	rep.Sets = keep
 
-	// Rank contending function pairs across overflowing sets.
-	pairW := make(map[[2]ir.FuncID]uint64)
-	for _, si := range overflowing {
-		funcs := make([]ir.FuncID, 0, len(si.funcW))
-		//lint:maprange keys collected then sorted
-		for f := range si.funcW {
-			funcs = append(funcs, f)
-		}
-		sort.Slice(funcs, func(i, j int) bool { return funcs[i] < funcs[j] })
-		for i := 0; i < len(funcs); i++ {
-			for j := i + 1; j < len(funcs); j++ {
-				wa, wb := si.funcW[funcs[i]], si.funcW[funcs[j]]
-				if wb < wa {
-					wa = wb
-				}
-				pairW[[2]ir.FuncID{funcs[i], funcs[j]}] += wa
-			}
-		}
-	}
 	pairs := make([]FuncPair, 0, len(pairW))
 	//lint:maprange pairs fully sorted below
 	for k, wgt := range pairW {
@@ -215,4 +297,56 @@ func conflictReport(sg *supergraph, g geom, p *ir.Program, topSets, topLines, to
 	}
 	rep.Pairs = pairs
 	return rep
+}
+
+// perSetRegions lists, for every cache set, the weighted regions whose
+// span touches it, ascending by region index — flattened as one buffer
+// with per-set offsets (set s owns buf[off[s]:off[s+1]]).
+func perSetRegions(sg *supergraph, g geom) (off []int32, buf []int32) {
+	off = make([]int32, g.numSets+1)
+	visit := func(f func(s uint32, ri int32)) {
+		for ri := range sg.regions {
+			r := &sg.regions[ri]
+			if r.weight == 0 {
+				continue
+			}
+			l0, l1, ok := r.lineRange(g.blockBytes)
+			if !ok {
+				continue
+			}
+			if l1-l0+1 >= g.numSets {
+				for s := uint32(0); s < g.numSets; s++ {
+					f(s, int32(ri))
+				}
+				continue
+			}
+			for l := l0; l <= l1; l++ {
+				f(g.set(l), int32(ri))
+			}
+		}
+	}
+	visit(func(s uint32, ri int32) { off[s+1]++ })
+	for s := uint32(0); s < g.numSets; s++ {
+		off[s+1] += off[s]
+	}
+	buf = make([]int32, off[g.numSets])
+	cur := make([]int32, g.numSets)
+	copy(cur, off[:g.numSets])
+	visit(func(s uint32, ri int32) {
+		buf[cur[s]] = ri
+		cur[s]++
+	})
+	return off, buf
+}
+
+func conflictReport(sg *supergraph, g geom, p *ir.Program, topSets, topLines, topPairs int) ConflictReport {
+	off, buf := perSetRegions(sg, g)
+	sets := make([]confSet, g.numSets)
+	var cs confScratch
+	pairW := make(map[[2]ir.FuncID]uint64)
+	for s := range sets {
+		sets[s] = conflictSet(sg, g, p, uint32(s), buf[off[s]:off[s+1]], &cs)
+		applyPairs(pairW, sets[s].funcs, true)
+	}
+	return assembleConflict(sets, pairW, p, topSets, topLines, topPairs)
 }

@@ -14,12 +14,25 @@ import (
 // fuzzer-chosen program shapes, layouts, and cache geometries, the
 // static must/may bounds must bracket the simulator's measured misses
 // whenever the weights describe the simulated run exactly.
+//
+// The trips byte scales the workload's loop trip counts: hot loops
+// over code that does not fit the cache are exactly the shape whose
+// upper bound the scope-persistence pass (persist.go) caps at the
+// scope's entry count, so high-trips seeds hold the tightened bracket
+// against the simulator too.
 func FuzzBounds(f *testing.F) {
-	f.Add(uint64(1), uint64(7), uint8(0), uint8(0), uint8(1), false)
-	f.Add(uint64(2), uint64(11), uint8(1), uint8(1), uint8(2), true)
-	f.Add(uint64(3), uint64(13), uint8(2), uint8(2), uint8(0), false)
-	f.Add(uint64(99), uint64(5), uint8(0), uint8(2), uint8(3), true)
-	f.Fuzz(func(t *testing.T, progSeed, evalSeed uint64, sizeIdx, blockIdx, assocIdx uint8, random bool) {
+	f.Add(uint64(1), uint64(7), uint8(0), uint8(0), uint8(1), uint8(3), false)
+	f.Add(uint64(2), uint64(11), uint8(1), uint8(1), uint8(2), uint8(3), true)
+	f.Add(uint64(3), uint64(13), uint8(2), uint8(2), uint8(0), uint8(3), false)
+	f.Add(uint64(99), uint64(5), uint8(0), uint8(2), uint8(3), uint8(3), true)
+	// Persistence-heavy shapes: many trips around loops vs the smallest
+	// direct-mapped geometry (scope pools dominate the upper bound),
+	// and the same with associativity for the scoped-fit boundary.
+	f.Add(uint64(17), uint64(23), uint8(0), uint8(0), uint8(1), uint8(11), false)
+	f.Add(uint64(17), uint64(23), uint8(0), uint8(0), uint8(1), uint8(11), true)
+	f.Add(uint64(29), uint64(31), uint8(1), uint8(2), uint8(2), uint8(9), false)
+	f.Add(uint64(41), uint64(43), uint8(2), uint8(1), uint8(3), uint8(15), true)
+	f.Fuzz(func(t *testing.T, progSeed, evalSeed uint64, sizeIdx, blockIdx, assocIdx, trips uint8, random bool) {
 		sizes := []int{256, 512, 1024}
 		blocks := []int{16, 32, 64}
 		assocs := []int{0, 1, 2, 4} // 0 = fully associative
@@ -35,9 +48,9 @@ func FuzzBounds(f *testing.F) {
 			WorkerSegments: [2]int{1, 3}, BlockInstrs: [2]int{1, 8},
 			Utilities: 1, UtilInstrs: [2]int{2, 6},
 			ColdFuncs: 1, ColdFuncInstrs: [2]int{2, 8},
-			WorkerLoopTrips: 3, CallFrac: 0.5, DiamondFrac: 0.5, BranchBias: 0.8,
+			WorkerLoopTrips: float64(1 + int(trips)%15), CallFrac: 0.5, DiamondFrac: 0.5, BranchBias: 0.8,
 			ColdEscapeFrac: 0.3, ColdEscapeProb: 0.02,
-			PhaseTrips: 2, TargetInstrs: 4000, ProfileRuns: 1,
+			PhaseTrips: float64(1 + int(trips)%4), TargetInstrs: 4000, ProfileRuns: 1,
 		})
 		if err != nil {
 			t.Skipf("workload.Build: %v", err)

@@ -1,0 +1,669 @@
+package analysis
+
+import (
+	"impact/internal/ir"
+	"impact/internal/layout"
+	"impact/internal/obs"
+)
+
+// Incremental linear passes.
+//
+// After the fixpoint is confined to the dirty cache sets
+// (incremental.go), the linear passes — classification, conflict
+// ranking, layout scoring — dominate an update. Each decomposes into
+// independent per-unit contributions folded by commutative operators,
+// so a linearState caches the contributions and re-derives only the
+// units a move invalidates:
+//
+//   - classify: each region contributes counts and weights folded by
+//     uint64 addition into the program aggregates, plus pooled weights
+//     on persistent lines (nonAH) and persistence scopes (scopePool).
+//     A region's contribution depends on its own span, the must/may
+//     states on its span's sets, and the persistence of those sets —
+//     all invariant unless one of its span's sets is dirty, the same
+//     criterion the fixpoint uses. The whole-program min-capping of the
+//     pooled weights stays a cheap final pass in assemble.
+//   - conflict: one confSet per cache set (conflict.go), recomputed
+//     for the sets where any weighted region's bytes moved, with the
+//     function-pair accumulator maintained by exact uint64 deltas.
+//   - score: each profiled control transfer is a static edge whose
+//     fall-through flag and ext-TSP term change only when its source
+//     or target function's addresses changed. Cached terms are
+//     re-summed in full edge order each update, so the floating-point
+//     additions replay scoreLayout's sequence exactly — deltas would
+//     be cheaper but not bit-identical.
+//
+// Every mutation is recorded in the update's undoState, so Revert
+// restores the caches to the previous layout byte for byte. The
+// assembled Result is bit-identical to buildResult's; the differential
+// tests hold both paths together.
+
+// lineWeight is one pooled per-line weight of a region's contribution.
+type lineWeight struct {
+	l uint32
+	w uint64
+}
+
+// poolWeight is one pooled per-(scope,line) weight (key scope<<32|line).
+type poolWeight struct {
+	k uint64
+	w uint64
+}
+
+// poolCnt is one pooled (scope,line) aggregate: the weight sum and the
+// count of contributing references. The count keys existence: classify
+// creates a pool entry even for weight-0 references (and ScopePools
+// counts it), so a key lives while any reference touches it, not while
+// its weight is nonzero.
+type poolCnt struct {
+	n int32
+	w uint64
+}
+
+// regionContrib is one region's complete contribution to the bounds.
+// Treated as immutable once built.
+type regionContrib struct {
+	lineRefs uint64
+	wRefs    uint64
+	refs     [NumClasses]uint64
+	refW     [NumClasses]uint64
+	// lower is the always-miss weight (b.Lower and fLower).
+	lower uint64
+	// upper is the directly-counted (unpooled) upper-bound weight.
+	upper uint64
+	// fUpper is the whole non-always-hit weight (per-function upper).
+	fUpper uint64
+	// nonAH holds the non-AH weights pooled per persistent line;
+	// pool the ones pooled per persistence scope. At most one entry
+	// per line each (the walk visits each span line once).
+	nonAH []lineWeight
+	pool  []poolWeight
+}
+
+// scoreEdge is one profiled control transfer; addresses are looked up
+// at evaluation time, everything else is layout-independent.
+type scoreEdge struct {
+	f ir.FuncID
+	b ir.BlockID
+	// c is the call instruction index, or -1 for an intra-function arc.
+	c int32
+	// tf/to name the target block (the callee's entry for calls).
+	tf ir.FuncID
+	to ir.BlockID
+	w  uint64
+}
+
+// linearState caches the linear passes' per-unit contributions and
+// their folded aggregates for the engine's current layout.
+type linearState struct {
+	// classify: per-region contributions and their commutative folds.
+	accesses  uint64 // layout-independent: sum of weight*words
+	fAccesses []uint64
+	contrib   []regionContrib
+	lineRefs  uint64
+	wRefs     uint64
+	refs      [NumClasses]uint64
+	refW      [NumClasses]uint64
+	lower     uint64
+	upper     uint64
+	fLower    []uint64
+	fUpper    []uint64
+	nonAH     []uint64           // per line: pooled non-AH weight
+	pool      map[uint64]poolCnt // scope<<32|line -> pooled weight
+	// cnt counts the weighted regions covering each line; setLines the
+	// lines per set with cnt > 0 — the persistence footprint.
+	cnt      []int32
+	setLines []uint32
+	// Per-scope persistence fits (computeFits, maintained as deltas):
+	// foot refcounts each scope's distinct executed lines, footSet
+	// folds them per cache set, and fits[s][set] = footSet <= ways.
+	foot    []int32 // len(scopes) * numLines
+	footSet []int32 // len(scopes) * numSets
+	fits    [][]bool
+
+	// conflict: per-set summaries and the pair accumulator.
+	confSets []confSet
+	pairW    map[[2]ir.FuncID]uint64
+
+	// score: static edges and their cached per-edge terms.
+	edges   []scoreEdge
+	edgeFT  []bool
+	edgeAcc []float64
+	byFunc  [][]int32 // edges touching each function (src or target)
+	emark   []uint32  // per-edge epoch stamp (dedup within one update)
+	epoch   uint32
+
+	cs confScratch
+}
+
+// undo record types for the linear caches.
+type movedSpan struct {
+	ri         int32
+	prev, next lineSpan
+}
+
+type contribUndo struct {
+	ri  int32
+	old regionContrib
+}
+
+type confUndo struct {
+	s   uint32
+	old confSet
+}
+
+type scoreUndo struct {
+	idx int32
+	ft  bool
+	acc float64
+}
+
+// buildLinear computes the full linear state for the current region
+// addresses, spans, fixpoint, and fits under lay.
+func (inc *Incremental) buildLinear(lay *layout.Layout) *linearState {
+	sg, g := inc.sg, inc.g
+	p := lay.Program()
+	n := len(sg.regions)
+	nFuncs := len(p.Funcs)
+
+	lin := &linearState{
+		fAccesses: make([]uint64, nFuncs),
+		contrib:   make([]regionContrib, n),
+		fLower:    make([]uint64, nFuncs),
+		fUpper:    make([]uint64, nFuncs),
+		nonAH:     make([]uint64, g.numLines),
+		pool:      map[uint64]poolCnt{},
+		cnt:       make([]int32, g.numLines),
+		setLines:  make([]uint32, g.numSets),
+		pairW:     map[[2]ir.FuncID]uint64{},
+	}
+
+	for ri := range sg.regions {
+		r := &sg.regions[ri]
+		fetches := r.weight * uint64(r.words)
+		lin.accesses += fetches
+		lin.fAccesses[r.f] += fetches
+		if r.weight == 0 {
+			continue
+		}
+		if sp := inc.ranges[ri]; sp.ok {
+			for l := sp.l0; l <= sp.l1; l++ {
+				lin.cnt[l]++
+			}
+		}
+	}
+	for l := uint32(0); l < g.numLines; l++ {
+		if lin.cnt[l] > 0 {
+			lin.setLines[g.set(l)]++
+		}
+	}
+
+	nScopes := len(inc.sc.members)
+	lin.foot = make([]int32, nScopes*int(g.numLines))
+	lin.footSet = make([]int32, nScopes*int(g.numSets))
+	lin.fits = make([][]bool, nScopes)
+	for s := range inc.sc.members {
+		lin.fits[s] = make([]bool, g.numSets)
+		for set := range lin.fits[s] {
+			lin.fits[s][set] = true // empty footprint fits
+		}
+		for _, ri := range inc.sc.members[s] {
+			if sg.regions[ri].weight == 0 {
+				continue
+			}
+			lin.adjustFoot(g, int32(s), inc.ranges[ri], +1)
+		}
+	}
+
+	for ri := range sg.regions {
+		c := inc.classifyRegion(lin, ri)
+		lin.contrib[ri] = c
+		inc.applyContrib(lin, ri, &c, true)
+	}
+
+	lin.confSets = make([]confSet, g.numSets)
+	off, buf := perSetRegions(sg, g)
+	for s := range lin.confSets {
+		lin.confSets[s] = conflictSet(sg, g, p, uint32(s), buf[off[s]:off[s+1]], &lin.cs)
+		applyPairs(lin.pairW, lin.confSets[s].funcs, true)
+	}
+
+	lin.byFunc = make([][]int32, nFuncs)
+	addEdge := func(e scoreEdge) {
+		idx := int32(len(lin.edges))
+		lin.edges = append(lin.edges, e)
+		lin.byFunc[e.f] = append(lin.byFunc[e.f], idx)
+		if e.tf != e.f {
+			lin.byFunc[e.tf] = append(lin.byFunc[e.tf], idx)
+		}
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for k, a := range b.Out {
+				if wgt := inc.w.ArcWeight(f.ID, b.ID, k); wgt > 0 {
+					addEdge(scoreEdge{f: f.ID, b: b.ID, c: -1, tf: f.ID, to: a.To, w: wgt})
+				}
+			}
+			for _, c := range b.CallSites() {
+				site := ir.CallSite{Func: f.ID, Block: b.ID, Instr: int32(c)}
+				if wgt := inc.w.SiteWeight(site); wgt > 0 {
+					callee := b.Instrs[c].Callee
+					addEdge(scoreEdge{f: f.ID, b: b.ID, c: int32(c), tf: callee, to: p.Funcs[callee].Entry, w: wgt})
+				}
+			}
+		}
+	}
+	lin.edgeFT = make([]bool, len(lin.edges))
+	lin.edgeAcc = make([]float64, len(lin.edges))
+	lin.emark = make([]uint32, len(lin.edges))
+	for i := range lin.edges {
+		lin.evalEdge(lay, i)
+	}
+	return lin
+}
+
+// classifyRegion computes one region's contribution, mirroring
+// classify's per-region pass exactly (expressions and all — the
+// differential tests compare the assembled results bit for bit).
+func (inc *Incremental) classifyRegion(lin *linearState, ri int) regionContrib {
+	sg, g, fx := inc.sg, inc.g, inc.fx
+	r := &sg.regions[ri]
+	var c regionContrib
+	scope := inc.sc.scope[ri]
+	var scopeFits []bool
+	if scope >= 0 {
+		scopeFits = lin.fits[scope]
+	}
+	ref := func(l uint32, mustHit, mayMiss bool) {
+		c.lineRefs++
+		c.wRefs += r.weight
+		inScope := scopeFits != nil && scopeFits[g.set(l)]
+		persistent := lin.setLines[g.set(l)] <= g.assoc
+		var cl Class
+		switch {
+		case mustHit:
+			cl = ClassAlwaysHit
+		case mayMiss:
+			cl = ClassAlwaysMiss
+		case persistent || inScope:
+			cl = ClassFirstMiss
+		default:
+			cl = ClassUnclassified
+		}
+		c.refs[cl]++
+		c.refW[cl] += r.weight
+		if cl == ClassAlwaysMiss {
+			c.lower += r.weight
+		}
+		if cl != ClassAlwaysHit {
+			c.fUpper += r.weight
+			switch {
+			case persistent:
+				c.nonAH = append(c.nonAH, lineWeight{l: l, w: r.weight})
+			case inScope:
+				c.pool = append(c.pool, poolWeight{k: uint64(scope)<<32 | uint64(l), w: r.weight})
+			default:
+				c.upper += r.weight
+			}
+		}
+	}
+	sp := inc.ranges[ri]
+	if fx.mustIn[ri] == nil {
+		// Unreachable in the supergraph: static refs are unclassified.
+		if sp.ok {
+			for l := sp.l0; l <= sp.l1; l++ {
+				ref(l, false, false)
+			}
+		}
+		return c
+	}
+	if !sp.ok {
+		return c
+	}
+	// Copy only the span's cache-set columns into the walk scratch —
+	// the walk never reads the other columns (see classify).
+	in, inY := fx.mustIn[ri], fx.mayIn[ri]
+	scM, scY := inc.outM, inc.outY
+	if sp.l1-sp.l0+1 <= g.numSets {
+		for l := sp.l0; l <= sp.l1; l++ {
+			for y := g.set(l); y < g.numLines; y += g.numSets {
+				scM[y] = in[y]
+				scY[y] = inY[y]
+			}
+		}
+	} else {
+		copy(scM, in)
+		copy(scY, inY)
+	}
+	g.walk(r, scM, scY, ref)
+	return c
+}
+
+// applyContrib folds one region's contribution into (or out of) the
+// aggregates. All folds are exact uint64 group operations, so
+// subtract-then-add-new replays build-from-scratch bit for bit; pool
+// keys are deleted at zero to keep the map equal to a fresh build.
+func (inc *Incremental) applyContrib(lin *linearState, ri int, c *regionContrib, add bool) {
+	f := inc.sg.regions[ri].f
+	if add {
+		lin.lineRefs += c.lineRefs
+		lin.wRefs += c.wRefs
+		for i := range c.refs {
+			lin.refs[i] += c.refs[i]
+			lin.refW[i] += c.refW[i]
+		}
+		lin.lower += c.lower
+		lin.upper += c.upper
+		lin.fLower[f] += c.lower
+		lin.fUpper[f] += c.fUpper
+		for _, e := range c.nonAH {
+			lin.nonAH[e.l] += e.w
+		}
+		for _, e := range c.pool {
+			pc := lin.pool[e.k]
+			pc.n++
+			pc.w += e.w
+			lin.pool[e.k] = pc
+		}
+		return
+	}
+	lin.lineRefs -= c.lineRefs
+	lin.wRefs -= c.wRefs
+	for i := range c.refs {
+		lin.refs[i] -= c.refs[i]
+		lin.refW[i] -= c.refW[i]
+	}
+	lin.lower -= c.lower
+	lin.upper -= c.upper
+	lin.fLower[f] -= c.lower
+	lin.fUpper[f] -= c.fUpper
+	for _, e := range c.nonAH {
+		lin.nonAH[e.l] -= e.w
+	}
+	for _, e := range c.pool {
+		pc := lin.pool[e.k]
+		pc.n--
+		pc.w -= e.w
+		if pc.n == 0 {
+			delete(lin.pool, e.k)
+		} else {
+			lin.pool[e.k] = pc
+		}
+	}
+}
+
+// adjustSpan updates the persistence footprint (cnt/setLines) for one
+// weighted region's span entering (+1) or leaving (-1) the layout.
+func (lin *linearState) adjustSpan(g geom, sp lineSpan, delta int32) {
+	if !sp.ok {
+		return
+	}
+	for l := sp.l0; l <= sp.l1; l++ {
+		lin.cnt[l] += delta
+		if delta > 0 && lin.cnt[l] == 1 {
+			lin.setLines[g.set(l)]++
+		} else if delta < 0 && lin.cnt[l] == 0 {
+			lin.setLines[g.set(l)]--
+		}
+	}
+}
+
+// adjustFoot updates one scope's in-scope footprint (foot/footSet) for
+// a weighted member region's span entering (+1) or leaving (-1) the
+// layout, re-deriving fits[scope][set] at every covered<->uncovered
+// transition. The bools are a pure function of footSet, so replaying
+// the inverse deltas restores them exactly.
+func (lin *linearState) adjustFoot(g geom, scope int32, sp lineSpan, delta int32) {
+	if !sp.ok {
+		return
+	}
+	fo := lin.foot[int(scope)*int(g.numLines):]
+	fs := lin.footSet[int(scope)*int(g.numSets):]
+	fit := lin.fits[scope]
+	for l := sp.l0; l <= sp.l1; l++ {
+		fo[l] += delta
+		if (delta > 0 && fo[l] == 1) || (delta < 0 && fo[l] == 0) {
+			set := g.set(l)
+			fs[set] += delta
+			fit[set] = uint32(fs[set]) <= g.assoc
+		}
+	}
+}
+
+// evalEdge recomputes one edge's cached fall-through flag and ext-TSP
+// term under lay, with scoreLayout's exact expressions.
+func (lin *linearState) evalEdge(lay *layout.Layout, i int) {
+	e := &lin.edges[i]
+	var srcEnd uint32
+	if e.c < 0 {
+		srcEnd = lay.BlockEnd(e.f, e.b)
+	} else {
+		srcEnd = lay.InstrAddr(e.f, e.b, e.c) + ir.InstrBytes
+	}
+	dst := lay.BlockAddr(e.tf, e.to)
+	lin.edgeFT[i] = dst == srcEnd
+	lin.edgeAcc[i] = float64(e.w) * extTSPFactor(srcEnd, dst)
+}
+
+// sumScore folds the cached per-edge terms in edge order — the same
+// float addition sequence scoreLayout performs.
+func (lin *linearState) sumScore() Score {
+	var s Score
+	var acc float64
+	for i := range lin.edges {
+		s.TotalWeight += lin.edges[i].w
+		if lin.edgeFT[i] {
+			s.FallThrough += lin.edges[i].w
+		}
+		acc += lin.edgeAcc[i]
+	}
+	if s.TotalWeight > 0 {
+		s.ExtTSP = acc / float64(s.TotalWeight)
+	}
+	return s
+}
+
+// applyLinearDeltas re-derives the invalidated cache entries for one
+// update: the persistence footprint and region contributions on the
+// dirty cache sets, the conflict summaries of the sets where bytes
+// moved, and the score edges of the functions whose addresses changed.
+// Mutations are recorded in undo. Requires the fixpoint and fits to be
+// current.
+func (inc *Incremental) applyLinearDeltas(lay *layout.Layout, undo *undoState) {
+	lin := inc.lin
+	sg, g := inc.sg, inc.g
+	p := lay.Program()
+
+	for _, mv := range undo.moved {
+		lin.adjustSpan(g, mv.prev, -1)
+		lin.adjustSpan(g, mv.next, +1)
+		if sc := inc.sc.scope[mv.ri]; sc >= 0 {
+			lin.adjustFoot(g, sc, mv.prev, -1)
+			lin.adjustFoot(g, sc, mv.next, +1)
+		}
+	}
+
+	if len(inc.dirtySets) > 0 {
+		for ri := range sg.regions {
+			if !inc.spanTouchesDirty(inc.ranges[ri]) {
+				continue
+			}
+			old := lin.contrib[ri]
+			inc.applyContrib(lin, ri, &old, false)
+			nc := inc.classifyRegion(lin, ri)
+			lin.contrib[ri] = nc
+			inc.applyContrib(lin, ri, &nc, true)
+			undo.contribs = append(undo.contribs, contribUndo{ri: int32(ri), old: old})
+		}
+	}
+
+	if len(inc.confDirtySets) > 0 {
+		for _, s := range inc.confDirtySets {
+			if inc.confRegs[s] != nil {
+				inc.confRegs[s] = inc.confRegs[s][:0]
+			}
+		}
+		for ri := range sg.regions {
+			r := &sg.regions[ri]
+			if r.weight == 0 {
+				continue
+			}
+			sp := inc.ranges[ri]
+			if !sp.ok {
+				continue
+			}
+			if sp.l1-sp.l0+1 >= g.numSets {
+				for _, s := range inc.confDirtySets {
+					inc.confRegs[s] = append(inc.confRegs[s], int32(ri))
+				}
+				continue
+			}
+			for l := sp.l0; l <= sp.l1; l++ {
+				if s := g.set(l); inc.confDirty[s] {
+					inc.confRegs[s] = append(inc.confRegs[s], int32(ri))
+				}
+			}
+		}
+		for _, s := range inc.confDirtySets {
+			old := lin.confSets[s]
+			nw := conflictSet(sg, g, p, s, inc.confRegs[s], &lin.cs)
+			applyPairs(lin.pairW, old.funcs, false)
+			applyPairs(lin.pairW, nw.funcs, true)
+			lin.confSets[s] = nw
+			undo.confs = append(undo.confs, confUndo{s: s, old: old})
+		}
+	}
+
+	if inc.anyAddr {
+		lin.epoch++
+		for fi := range inc.funcChanged {
+			if !inc.funcChanged[fi] {
+				continue
+			}
+			for _, idx := range lin.byFunc[fi] {
+				if lin.emark[idx] == lin.epoch {
+					continue
+				}
+				lin.emark[idx] = lin.epoch
+				undo.scores = append(undo.scores, scoreUndo{idx: idx, ft: lin.edgeFT[idx], acc: lin.edgeAcc[idx]})
+				lin.evalEdge(lay, int(idx))
+			}
+		}
+	}
+}
+
+// revertLinear undoes one update's cache mutations in reverse order.
+func (inc *Incremental) revertLinear(undo *undoState) {
+	if undo.lin != nil {
+		inc.lin = undo.lin
+		return
+	}
+	lin := inc.lin
+	for _, su := range undo.scores {
+		lin.edgeFT[su.idx] = su.ft
+		lin.edgeAcc[su.idx] = su.acc
+	}
+	for i := range undo.confs {
+		cu := &undo.confs[i]
+		applyPairs(lin.pairW, lin.confSets[cu.s].funcs, false)
+		applyPairs(lin.pairW, cu.old.funcs, true)
+		lin.confSets[cu.s] = cu.old
+	}
+	for i := range undo.contribs {
+		tu := &undo.contribs[i]
+		cur := lin.contrib[tu.ri]
+		inc.applyContrib(lin, int(tu.ri), &cur, false)
+		inc.applyContrib(lin, int(tu.ri), &tu.old, true)
+		lin.contrib[tu.ri] = tu.old
+	}
+	for _, mv := range undo.moved {
+		lin.adjustSpan(inc.g, mv.next, -1)
+		lin.adjustSpan(inc.g, mv.prev, +1)
+		if sc := inc.sc.scope[mv.ri]; sc >= 0 {
+			lin.adjustFoot(inc.g, sc, mv.next, -1)
+			lin.adjustFoot(inc.g, sc, mv.prev, +1)
+		}
+	}
+}
+
+// assemble builds the Result from the linear caches — the cached-path
+// equivalent of buildResult, with identical arithmetic.
+func (inc *Incremental) assemble(lay *layout.Layout, root *obs.Span) *Result {
+	lin := inc.lin
+	g, w, cfg := inc.g, inc.w, inc.cfg
+	p := lay.Program()
+	reg := cfg.Obs
+
+	var b Bounds
+	b.Runs = w.Runs
+	b.Exact = w.Capped == 0 && w.Runs == 1
+	b.Scopes = len(inc.sc.members)
+	runs := effectiveRuns(w)
+	b.Accesses = lin.accesses
+	b.LineRefs = int(lin.lineRefs)
+	b.WeightedLineRefs = lin.wRefs
+	b.Refs = lin.refs
+	b.RefWeight = lin.refW
+	b.Lower = lin.lower
+	for l := uint32(0); l < g.numLines; l++ {
+		if lin.cnt[l] > 0 && lin.setLines[g.set(l)] <= g.assoc {
+			b.PersistentLines++
+		}
+	}
+	b.Upper = lin.upper
+	for l := uint32(0); l < g.numLines; l++ {
+		if lin.nonAH[l] == 0 {
+			continue
+		}
+		if lin.nonAH[l] < runs {
+			b.Upper += lin.nonAH[l]
+		} else {
+			b.Upper += runs
+		}
+	}
+	b.ScopePools = len(lin.pool)
+	//lint:maprange uint64 additions commute; the sum is order-independent
+	for k, pc := range lin.pool {
+		wgt := pc.w
+		if e := inc.sc.entries[k>>32]; wgt > e {
+			wgt = e
+		}
+		b.Upper += wgt
+	}
+
+	var perFunc []FuncBounds
+	for fi := 0; fi < len(p.Funcs); fi++ {
+		if lin.fAccesses[fi] == 0 && lin.fUpper[fi] == 0 {
+			continue
+		}
+		perFunc = append(perFunc, FuncBounds{
+			Func: ir.FuncID(fi), Name: p.Funcs[fi].Name,
+			Lower: lin.fLower[fi], Upper: lin.fUpper[fi], Accesses: lin.fAccesses[fi],
+		})
+	}
+
+	res := &Result{
+		Cache:      cfg.Cache,
+		Score:      lin.sumScore(),
+		Conflicts:  assembleConflict(lin.confSets, lin.pairW, p, cfg.TopSets, cfg.TopLines, cfg.TopPairs),
+		Bounds:     b,
+		PerFunc:    perFunc,
+		Regions:    len(inc.sg.regions),
+		Iterations: inc.fx.iterations,
+	}
+
+	root.SetAttr("cache", cfg.Cache.String())
+	root.SetAttrInt("regions", int64(res.Regions))
+	root.SetAttrInt("iterations", int64(res.Iterations))
+	reg.Counter("analysis.runs").Inc()
+	reg.Counter("analysis.regions").Add(uint64(res.Regions))
+	reg.Counter("analysis.iterations").Add(uint64(res.Iterations))
+	reg.Counter("analysis.refs").Add(uint64(res.Bounds.LineRefs))
+	reg.Counter("analysis.always_hit").Add(res.Bounds.Refs[ClassAlwaysHit])
+	reg.Counter("analysis.first_miss").Add(res.Bounds.Refs[ClassFirstMiss])
+	reg.Counter("analysis.always_miss").Add(res.Bounds.Refs[ClassAlwaysMiss])
+	reg.Counter("analysis.unclassified").Add(res.Bounds.Refs[ClassUnclassified])
+	reg.Counter("analysis.scopes").Add(uint64(res.Bounds.Scopes))
+	reg.Counter("analysis.scope_pools").Add(uint64(res.Bounds.ScopePools))
+	return res
+}

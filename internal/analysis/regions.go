@@ -29,6 +29,11 @@ import (
 type region struct {
 	f ir.FuncID
 	b ir.BlockID
+	// start is the segment's first instruction index within its block;
+	// addr is recomputable as lay.InstrAddr(f, b, start), which is how
+	// the incremental analyzer re-addresses regions under a candidate
+	// layout without rebuilding the supergraph.
+	start int32
 	// addr is the byte address of the segment's first instruction.
 	addr uint32
 	// words is the segment's instruction count (may be 0 for the empty
@@ -74,7 +79,7 @@ func buildSupergraph(lay *layout.Layout, w *profile.Weights) *supergraph {
 			for _, c := range b.CallSites() {
 				idx := int32(len(sg.regions))
 				sg.regions = append(sg.regions, region{
-					f: f.ID, b: b.ID,
+					f: f.ID, b: b.ID, start: start,
 					addr:   lay.InstrAddr(f.ID, b.ID, start),
 					words:  int32(c) + 1 - start,
 					weight: bw,
@@ -87,7 +92,7 @@ func buildSupergraph(lay *layout.Layout, w *profile.Weights) *supergraph {
 			}
 			idx := int32(len(sg.regions))
 			sg.regions = append(sg.regions, region{
-				f: f.ID, b: b.ID,
+				f: f.ID, b: b.ID, start: start,
 				addr:   lay.InstrAddr(f.ID, b.ID, start),
 				words:  int32(len(b.Instrs)) - start,
 				weight: bw,

@@ -288,6 +288,10 @@ const (
 	StageTrace = "traceselect"
 	// StageLayout checks the composed function and global layouts.
 	StageLayout = "layout"
+	// StageSearch re-checks the layout invariants after the
+	// conflict-driven search replaces the global order: every emitted
+	// order must satisfy exactly what the greedy order satisfied.
+	StageSearch = "search"
 	// StageAnalysis checks the static cache-behavior analysis.
 	StageAnalysis = "analysis"
 )
@@ -343,6 +347,8 @@ func ForStage(stage string) []*Analyzer {
 	case StageTrace:
 		return pick("traces")
 	case StageLayout:
+		return pick("funclayout", "globallayout")
+	case StageSearch:
 		return pick("funclayout", "globallayout")
 	case StageAnalysis:
 		return pick("bounds")

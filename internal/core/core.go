@@ -29,6 +29,7 @@ import (
 	"impact/internal/memtrace"
 	"impact/internal/obs"
 	"impact/internal/profile"
+	"impact/internal/search"
 )
 
 // Strategy selects which pipeline steps run. The zero value disables
@@ -83,6 +84,13 @@ type Config struct {
 	// Result.Analysis; its internal consistency is verified under
 	// Config.Check like any pipeline stage. Nil skips the analysis.
 	Analysis *analysis.Config
+	// Search, when non-nil, runs the conflict-driven layout search
+	// (internal/search) after the layout is composed: candidate global
+	// function orders are scored by incremental re-analysis and the
+	// best order replaces GlobalOrder/Layout when it tightens the
+	// static miss upper bound. The searched layout is re-verified
+	// under Config.Check (check.StageSearch). Nil skips the search.
+	Search *search.Config
 	// Obs, when non-nil, receives per-stage spans (pipeline/profile,
 	// pipeline/inline, pipeline/traceselect, pipeline/funclayout,
 	// pipeline/globallayout, pipeline/compose) and work counters; nil
@@ -145,6 +153,11 @@ type Result struct {
 	// Analysis holds the static cache-behavior analysis of the final
 	// layout (nil unless Config.Analysis was set).
 	Analysis *analysis.Result
+
+	// Search holds the layout search outcome (nil unless
+	// Config.Search was set). When Search.Improved, GlobalOrder and
+	// Layout already reflect the searched order.
+	Search *search.Result
 
 	// Ledger holds the per-stage locality ledger (nil unless
 	// Config.Ledger was set).
@@ -346,7 +359,6 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 
 	// Compose the final placement.
 	sp = pipe.Span("compose")
-	defer sp.End()
 	var pl layout.Placement
 	if cfg.Strategy.SplitCold {
 		// Effective regions of all functions in global order, then the
@@ -374,6 +386,7 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: composing layout: %w", err)
 	}
+	sp.End()
 	cfg.Obs.Counter("pipeline.compose.blocks_placed").Add(uint64(len(pl.Order)))
 	led.capture("globallayout", res.Layout, w)
 	if err := verify(&check.Unit{
@@ -384,6 +397,42 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 		TraceLayout: cfg.Strategy.TraceLayout, SplitCold: cfg.Strategy.SplitCold,
 	}); err != nil {
 		return nil, err
+	}
+
+	// Optional stage: conflict-driven local search over the global
+	// function order, scored by incremental static re-analysis.
+	if cfg.Search != nil {
+		scfg := *cfg.Search
+		if scfg.Obs == nil {
+			scfg.Obs = cfg.Obs
+		}
+		if scfg.Lane == 0 {
+			scfg.Lane = cfg.Lane
+		}
+		sp = pipe.Span("search")
+		res.Search, err = search.Optimize(search.Input{
+			Prog: prog, Weights: w,
+			Orders: res.Orders, Global: res.GlobalOrder,
+			SplitCold: cfg.Strategy.SplitCold,
+		}, scfg)
+		sp.End()
+		if err != nil {
+			return nil, fmt.Errorf("core: layout search: %w", err)
+		}
+		if res.Search.Improved {
+			res.GlobalOrder = res.Search.Order
+			res.Layout = res.Search.Layout
+			if err := verify(&check.Unit{
+				Stage: check.StageSearch, Prog: prog, Weights: w,
+				Traces: res.Traces, MinProb: cfg.MinProb,
+				Orders: res.Orders, Global: &res.GlobalOrder,
+				Layout: res.Layout, EffectiveBytes: res.EffectiveBytes,
+				TraceLayout: cfg.Strategy.TraceLayout, SplitCold: cfg.Strategy.SplitCold,
+			}); err != nil {
+				return nil, err
+			}
+			led.capture("search", res.Layout, w)
+		}
 	}
 
 	// Optional stage: static cache-behavior analysis of the layout.

@@ -204,6 +204,7 @@ func PrepareBenchmarksWith(benchmarks []*workload.Benchmark, opts Options) (*Sui
 	if workers > len(benchmarks) {
 		workers = len(benchmarks)
 	}
+	//lint:walltime progress reporting only; results are clock-free
 	start := time.Now()
 	var busyNS atomic.Int64
 	var done atomic.Int64
@@ -226,6 +227,7 @@ func PrepareBenchmarksWith(benchmarks []*workload.Benchmark, opts Options) (*Sui
 				i, b := j.i, j.b
 				sp := opts.Obs.SpanOn(lane, "prepare/benchmark")
 				sp.SetAttr("benchmark", b.Name())
+				//lint:walltime progress reporting only; results are clock-free
 				bStart := time.Now()
 				items[i], errs[i] = prepareOne(b, opts, lane)
 				elapsed := time.Since(bStart)
@@ -283,6 +285,7 @@ func prepareOne(b *workload.Benchmark, opts Options, lane obs.Lane) (*Prepared, 
 			"errors", res.Checks.Errors(), "warnings", res.Checks.Warnings())
 	}
 	sp := opts.Obs.SpanOn(lane, "evaltrace")
+	//lint:walltime trace-timing metric only; results are clock-free
 	tStart := time.Now()
 	optTr, optRun, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
 	if err != nil {
@@ -290,6 +293,7 @@ func prepareOne(b *workload.Benchmark, opts Options, lane obs.Lane) (*Prepared, 
 		return nil, err
 	}
 	interp.Record(opts.Obs, optRun, time.Since(tStart))
+	//lint:walltime trace-timing metric only; results are clock-free
 	tStart = time.Now()
 	natTr, natRun, err := layout.Trace(layout.Natural(b.Prog), b.EvalSeed, b.EvalConfig())
 	sp.End()

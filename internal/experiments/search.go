@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"impact/internal/cache"
+	"impact/internal/check"
+	"impact/internal/core/traceselect"
+	"impact/internal/layout"
+	"impact/internal/search"
+	"impact/internal/texttable"
+)
+
+// This file hosts the layout-search experiment: for every prepared
+// benchmark, the conflict-driven local search (internal/search) tries
+// to beat the greedy pipeline's global function order, and both
+// layouts are priced by the trace-driven simulator — the ground truth
+// the search's static objective only approximates. The searched
+// layout is adopted per benchmark only when the simulator agrees it
+// is no worse, so the experiment can never regress a benchmark.
+
+// SearchRow compares the greedy and searched layouts of one benchmark.
+type SearchRow struct {
+	Name string
+	// GreedyUpper / SearchUpper are the static miss upper bounds of
+	// the two layouts (the search's objective).
+	GreedyUpper, SearchUpper uint64
+	// GreedyMiss / SearchMiss are the simulated miss ratios of the
+	// two layouts over the evaluation run.
+	GreedyMiss, SearchMiss float64
+	// Evals and Accepted summarise the walk.
+	Evals, Accepted int
+	// Improved reports whether the search beat the greedy order on
+	// its static objective; Won whether the simulator confirmed
+	// strictly fewer misses.
+	Improved, Won bool
+}
+
+// SearchCompare runs the layout search on every prepared benchmark at
+// geom and scores both layouts with the simulator. cfg.Cache is
+// overridden with geom; cfg.Checkpoint is installed by the experiment
+// (stream-simulation of the incumbent) unless the caller set one.
+// Every searched layout is re-verified with the strict layout
+// analyzers before it is priced.
+func SearchCompare(s *Suite, geom cache.Config, cfg search.Config) ([]SearchRow, error) {
+	rows := make([]SearchRow, 0, len(s.Items))
+	for _, p := range s.Items {
+		w, err := p.EvalWeights()
+		if err != nil {
+			return nil, err
+		}
+		greedySt, err := cache.Simulate(geom, p.OptTrace)
+		if err != nil {
+			return nil, err
+		}
+
+		simulate := func(lay *layout.Layout) (uint64, error) {
+			sim, err := cache.NewSinkSimulator(geom)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := layout.Stream(lay, p.Bench.EvalSeed, p.Bench.EvalConfig(), sim); err != nil {
+				return 0, err
+			}
+			return sim.Stats()[0].Misses, nil
+		}
+
+		scfg := cfg
+		scfg.Cache = geom
+		if scfg.Checkpoint == nil {
+			scfg.Checkpoint = simulate
+		}
+		res, err := search.Optimize(search.Input{
+			Prog: p.Opt.Prog, Weights: w,
+			Orders: p.Opt.Orders, Global: p.Opt.GlobalOrder,
+			SplitCold: true,
+		}, scfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name(), err)
+		}
+
+		// Every layout the search emits must satisfy the same layout
+		// invariants as the greedy pipeline output, checked strictly.
+		rep := check.Run(&check.Unit{
+			Stage: check.StageSearch, Prog: p.Opt.Prog, Weights: p.Opt.Weights,
+			Traces: p.Opt.Traces, MinProb: traceselect.DefaultMinProb,
+			Orders: p.Opt.Orders, Global: &res.Order,
+			Layout: res.Layout, EffectiveBytes: p.Opt.EffectiveBytes,
+			TraceLayout: true, SplitCold: true,
+		}, check.ForStage(check.StageSearch), cfg.Obs)
+		if err := rep.Err(); err != nil {
+			return nil, fmt.Errorf("%s: searched layout failed verification: %w", p.Name(), err)
+		}
+
+		row := SearchRow{
+			Name:        p.Name(),
+			GreedyUpper: res.Initial.Bounds.Upper,
+			SearchUpper: res.Analysis.Bounds.Upper,
+			Evals:       res.Evals,
+			Accepted:    res.Accepted,
+			Improved:    res.Improved,
+		}
+		row.GreedyMiss = float64(greedySt.Misses) / float64(greedySt.Accesses)
+		searchMisses := greedySt.Misses
+		if res.Improved {
+			m, err := simulate(res.Layout)
+			if err != nil {
+				return nil, fmt.Errorf("%s: simulating searched layout: %w", p.Name(), err)
+			}
+			// The simulator has the last word: adopt the searched
+			// layout only when it measures no worse than greedy.
+			if m <= greedySt.Misses {
+				searchMisses = m
+			}
+		}
+		row.SearchMiss = float64(searchMisses) / float64(greedySt.Accesses)
+		row.Won = searchMisses < greedySt.Misses
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSearchCompare formats the comparison as a text table.
+func RenderSearchCompare(geom cache.Config, rows []SearchRow) string {
+	tb := texttable.New(
+		fmt.Sprintf("Layout search vs greedy pipeline (%dB/%dB assoc=%d)",
+			geom.SizeBytes, geom.BlockBytes, geom.Assoc),
+		"benchmark", "greedy upper", "search upper", "greedy miss", "search miss", "evals", "kept", "won")
+	wins := 0
+	for _, r := range rows {
+		won := ""
+		if r.Won {
+			won = "yes"
+			wins++
+		}
+		tb.Row(r.Name,
+			fmt.Sprintf("%d", r.GreedyUpper),
+			fmt.Sprintf("%d", r.SearchUpper),
+			fmt.Sprintf("%.4f", r.GreedyMiss),
+			fmt.Sprintf("%.4f", r.SearchMiss),
+			fmt.Sprintf("%d", r.Evals),
+			fmt.Sprintf("%d", r.Accepted),
+			won)
+	}
+	return tb.String() + fmt.Sprintf("\nsearch wins on %d/%d benchmarks (simulator-confirmed)\n", wins, len(rows))
+}

@@ -49,6 +49,7 @@ func (r *Registry) SpanOn(lane Lane, name string) *Span {
 	if r == nil {
 		return nil
 	}
+	//lint:walltime span timing is observational, never branched on
 	s := &Span{r: r, node: r.spanNode(name), path: name, start: time.Now(), lane: lane}
 	if t := r.tracer.Load(); t != nil {
 		s.tr = t
@@ -64,6 +65,7 @@ func (s *Span) Span(name string) *Span {
 		return nil
 	}
 	path := s.path + "/" + name
+	//lint:walltime span timing is observational, never branched on
 	c := &Span{r: s.r, node: s.r.spanNode(path), path: path, start: time.Now(), lane: s.lane}
 	if s.tr != nil {
 		c.tr = s.tr

@@ -114,6 +114,7 @@ type Tracer struct {
 // (DefaultTraceCapacity when capacity <= 0), timestamping events with
 // the real monotonic clock.
 func NewTracer(capacity int) *Tracer {
+	//lint:walltime the tracer's whole job is wall-clock timestamps
 	base := time.Now()
 	return NewTracerWithClock(capacity, func() int64 { return int64(time.Since(base)) })
 }

@@ -220,6 +220,7 @@ func Profile(p *ir.Program, cfg Config) (*Weights, []interp.Result, error) {
 	results := make([]interp.Result, 0, len(cfg.Seeds))
 	for _, seed := range cfg.Seeds {
 		w.Funcs[p.Entry].Entries++
+		//lint:walltime per-run timing metric only; weights are clock-free
 		start := time.Now()
 		res, err := eng.Run(seed, cfg.Interp, col)
 		if err != nil {

@@ -1,0 +1,374 @@
+// Package search improves a composed layout by conflict-driven local
+// search over the global function order.
+//
+// The pipeline's greedy passes (trace placement, DFS global order,
+// cold splitting) each optimise one locality dimension in isolation;
+// none of them sees the cache geometry. Search closes that loop: it
+// perturbs the function order, prices every candidate with the static
+// analyzer's miss upper bound (internal/analysis), and keeps the moves
+// that tighten it. Candidates are scored with analysis.Incremental, so
+// a single-function move costs a fraction of a full analysis, and
+// moves are seeded from the analyzer's own conflict report — the
+// ranked set-pressure pairs name exactly the functions whose lines
+// contend, and pulling a pair together in the order is the classic
+// "closest is best" conflict resolution.
+//
+// The search is a hill climb with random restarts driven by a
+// deterministic RNG (internal/xrand): same inputs, same seed, same
+// layout, on every machine. Periodic ground-truth checkpoints hand the
+// incumbent layout to a caller-supplied simulator callback so long
+// searches can confirm the static objective tracks measured misses.
+package search
+
+import (
+	"fmt"
+
+	"impact/internal/analysis"
+	"impact/internal/cache"
+	"impact/internal/core/funclayout"
+	"impact/internal/core/globallayout"
+	"impact/internal/ir"
+	"impact/internal/layout"
+	"impact/internal/obs"
+	"impact/internal/profile"
+	"impact/internal/xrand"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultBudget          = 192
+	DefaultRestarts        = 2
+	DefaultCheckpointEvery = 8
+	// maxSeedPairs bounds how deep into the conflict-pair ranking the
+	// move generator reaches; pairs below this rank carry little weight.
+	maxSeedPairs = 8
+)
+
+// Config parameterises one search run.
+type Config struct {
+	// Cache is the geometry the objective is priced against.
+	Cache cache.Config
+	// Seed drives the deterministic RNG; distinct seeds explore
+	// distinct move sequences.
+	Seed uint64
+	// Budget caps candidate evaluations (incremental re-analyses)
+	// across all restarts. Zero means DefaultBudget.
+	Budget int
+	// Restarts is the number of random restarts after the first
+	// climb; the budget is split evenly across climbs. Zero means
+	// DefaultRestarts; negative means none.
+	Restarts int
+	// CheckpointEvery invokes Checkpoint after every n-th accepted
+	// improvement. Zero means DefaultCheckpointEvery; negative
+	// disables checkpoints.
+	CheckpointEvery int
+	// Checkpoint, when non-nil, receives the incumbent layout at
+	// checkpoints and returns its ground-truth miss count (callers
+	// typically run cache.Simulate over the evaluation trace). A nil
+	// callback disables checkpoints.
+	Checkpoint func(*layout.Layout) (uint64, error)
+	// Obs receives spans and counters; nil disables instrumentation.
+	Obs *obs.Registry
+	// Lane attributes spans to a tracer lane.
+	Lane obs.Lane
+}
+
+// Input is the pipeline state the search permutes: the per-function
+// block orders stay fixed, only the global function order moves, so
+// every candidate preserves the funclayout invariants (and, with
+// SplitCold, the effective/non-executed packing) by construction.
+type Input struct {
+	Prog      *ir.Program
+	Weights   *profile.Weights
+	Orders    []funclayout.Order
+	Global    globallayout.Order
+	SplitCold bool
+}
+
+// Checkpoint is one ground-truth measurement taken mid-search.
+type Checkpoint struct {
+	// Eval is the candidate count when the checkpoint was taken.
+	Eval int
+	// Upper is the incumbent's static miss upper bound.
+	Upper uint64
+	// Misses is the measured miss count from Config.Checkpoint.
+	Misses uint64
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Order is the best function order found (the input order when
+	// nothing improved).
+	Order globallayout.Order
+	// Layout is the composition of Order (the input layout when
+	// nothing improved).
+	Layout *layout.Layout
+	// Analysis is the static analysis of Layout.
+	Analysis *analysis.Result
+	// Initial is the static analysis of the input order's layout.
+	Initial *analysis.Result
+	// Improved reports whether Order beats the input order on the
+	// lexicographic objective (Upper, TotalExcess, -ExtTSP).
+	Improved bool
+	// Evals counts candidate evaluations, Accepted the improving
+	// moves kept, Restarts the random restarts taken.
+	Evals, Accepted, Restarts int
+	// Checkpoints holds the ground-truth measurements, in eval order.
+	Checkpoints []Checkpoint
+}
+
+// Compose builds the layout for a function order, exactly as
+// core.Optimize composes its final placement: every function's blocks
+// in its Order, functions in global order, and with splitCold the
+// effective regions of all functions packed before every non-executed
+// region.
+func Compose(prog *ir.Program, orders []funclayout.Order, global globallayout.Order, splitCold bool) (*layout.Layout, error) {
+	var pl layout.Placement
+	if splitCold {
+		for _, f := range global.Funcs {
+			o := &orders[f]
+			for _, b := range o.Blocks[:o.EffectiveBlocks] {
+				pl.Order = append(pl.Order, layout.BlockRef{F: f, B: b})
+			}
+		}
+		for _, f := range global.Funcs {
+			o := &orders[f]
+			for _, b := range o.Blocks[o.EffectiveBlocks:] {
+				pl.Order = append(pl.Order, layout.BlockRef{F: f, B: b})
+			}
+		}
+	} else {
+		for _, f := range global.Funcs {
+			for _, b := range orders[f].Blocks {
+				pl.Order = append(pl.Order, layout.BlockRef{F: f, B: b})
+			}
+		}
+	}
+	return layout.FromPlacement(prog, pl)
+}
+
+// objective is the lexicographic score of a candidate: first the
+// static miss upper bound, then the conflict report's total excess
+// weight, then (descending) the ext-TSP locality score. The secondary
+// keys break ties the coarse upper bound cannot see, keeping the walk
+// moving across plateaus.
+type objective struct {
+	upper  uint64
+	excess uint64
+	extTSP float64
+}
+
+func objectiveOf(res *analysis.Result) objective {
+	return objective{
+		upper:  res.Bounds.Upper,
+		excess: res.Conflicts.TotalExcess,
+		extTSP: res.Score.ExtTSP,
+	}
+}
+
+// better reports whether o strictly improves on p.
+func (o objective) better(p objective) bool {
+	if o.upper != p.upper {
+		return o.upper < p.upper
+	}
+	if o.excess != p.excess {
+		return o.excess < p.excess
+	}
+	return o.extTSP > p.extTSP+1e-12
+}
+
+// Optimize searches for a function order whose layout tightens the
+// static miss upper bound over the input order. The result is
+// deterministic in (in, cfg).
+func Optimize(in Input, cfg Config) (*Result, error) {
+	if in.Prog == nil || in.Weights == nil {
+		return nil, fmt.Errorf("search: nil program or weights")
+	}
+	if len(in.Orders) != len(in.Prog.Funcs) {
+		return nil, fmt.Errorf("search: %d block orders for %d functions", len(in.Orders), len(in.Prog.Funcs))
+	}
+	for _, at := range in.Global.Positions(len(in.Prog.Funcs)) {
+		if at < 0 {
+			return nil, fmt.Errorf("search: global order is not a permutation of the program's functions")
+		}
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = DefaultBudget
+	}
+	if cfg.Restarts == 0 {
+		cfg.Restarts = DefaultRestarts
+	}
+	if cfg.Restarts < 0 {
+		cfg.Restarts = 0
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = DefaultCheckpointEvery
+	}
+
+	reg := cfg.Obs
+	root := reg.SpanOn(cfg.Lane, "search")
+	defer root.End()
+	reg.Counter("search.runs").Inc()
+
+	baseLay, err := Compose(in.Prog, in.Orders, in.Global, in.SplitCold)
+	if err != nil {
+		return nil, fmt.Errorf("search: composing input order: %w", err)
+	}
+	inc, err := analysis.NewIncremental(baseLay, in.Weights, analysis.Config{Cache: cfg.Cache, Obs: cfg.Obs, Lane: cfg.Lane})
+	if err != nil {
+		return nil, fmt.Errorf("search: analysing input order: %w", err)
+	}
+
+	res := &Result{
+		Order:    globallayout.Order{Funcs: append([]ir.FuncID(nil), in.Global.Funcs...)},
+		Layout:   baseLay,
+		Analysis: inc.Result(),
+		Initial:  inc.Result(),
+	}
+	n := len(in.Global.Funcs)
+	if n < 2 || cfg.Budget <= 0 {
+		return res, nil
+	}
+
+	rng := xrand.New(xrand.Seed(cfg.Seed, 0x5ea6c4))
+	cur := append([]ir.FuncID(nil), in.Global.Funcs...)
+	curObj := objectiveOf(inc.Result())
+	bestObj := curObj
+	initObj := curObj
+
+	climbs := cfg.Restarts + 1
+	perClimb := cfg.Budget / climbs
+	if perClimb == 0 {
+		perClimb = 1
+	}
+	for climb := 0; climb < climbs && res.Evals < cfg.Budget; climb++ {
+		if climb > 0 {
+			// Restart: kick the best order with two random swaps and
+			// re-anchor the climb there. The kick itself spends an eval.
+			res.Restarts++
+			reg.Counter("search.restarts").Inc()
+			cur = append(cur[:0], res.Order.Funcs...)
+			for k := 0; k < 2; k++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				cur[i], cur[j] = cur[j], cur[i]
+			}
+			lay, err := Compose(in.Prog, in.Orders, globallayout.Order{Funcs: cur}, in.SplitCold)
+			if err != nil {
+				return nil, fmt.Errorf("search: composing restart order: %w", err)
+			}
+			kicked, err := inc.Update(lay)
+			if err != nil {
+				return nil, fmt.Errorf("search: analysing restart order: %w", err)
+			}
+			res.Evals++
+			curObj = objectiveOf(kicked)
+		}
+		deadline := res.Evals + perClimb
+		if climb == climbs-1 || deadline > cfg.Budget {
+			deadline = cfg.Budget
+		}
+		for res.Evals < deadline {
+			cand := propose(cur, inc.Result().Conflicts.Pairs, rng)
+			lay, err := Compose(in.Prog, in.Orders, globallayout.Order{Funcs: cand}, in.SplitCold)
+			if err != nil {
+				return nil, fmt.Errorf("search: composing candidate: %w", err)
+			}
+			cres, err := inc.Update(lay)
+			if err != nil {
+				return nil, fmt.Errorf("search: analysing candidate: %w", err)
+			}
+			res.Evals++
+			reg.Counter("search.evals").Inc()
+			obj := objectiveOf(cres)
+			if !obj.better(curObj) {
+				if err := inc.Revert(); err != nil {
+					return nil, fmt.Errorf("search: reverting rejected candidate: %w", err)
+				}
+				continue
+			}
+			cur, curObj = cand, obj
+			res.Accepted++
+			reg.Counter("search.accepted").Inc()
+			if obj.better(bestObj) {
+				bestObj = obj
+				res.Order = globallayout.Order{Funcs: append([]ir.FuncID(nil), cand...)}
+				res.Layout = lay
+				res.Analysis = cres
+			}
+			if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 && res.Accepted%cfg.CheckpointEvery == 0 {
+				misses, err := cfg.Checkpoint(res.Layout)
+				if err != nil {
+					return nil, fmt.Errorf("search: ground-truth checkpoint: %w", err)
+				}
+				res.Checkpoints = append(res.Checkpoints, Checkpoint{
+					Eval: res.Evals, Upper: bestObj.upper, Misses: misses,
+				})
+				reg.Counter("search.checkpoints").Inc()
+			}
+		}
+	}
+	res.Improved = bestObj.better(initObj)
+	if res.Improved {
+		reg.Counter("search.improved").Inc()
+	}
+	return res, nil
+}
+
+// propose returns a mutated copy of cur. Half the moves (when the
+// conflict report offers pairs) pull a contending function pair
+// together — B moves to just after A or just before it — and the rest
+// are unbiased swaps and single-function relocations that keep the
+// walk ergodic.
+func propose(cur []ir.FuncID, pairs []analysis.FuncPair, rng *xrand.RNG) []ir.FuncID {
+	cand := append([]ir.FuncID(nil), cur...)
+	n := len(cand)
+	if len(pairs) > 0 && rng.Intn(2) == 0 {
+		top := len(pairs)
+		if top > maxSeedPairs {
+			top = maxSeedPairs
+		}
+		pair := pairs[rng.Intn(top)]
+		a, b := pair.A, pair.B
+		if rng.Intn(2) == 0 {
+			a, b = b, a
+		}
+		moveAfter(cand, a, b)
+		return cand
+	}
+	if rng.Intn(2) == 0 {
+		i, j := rng.Intn(n), rng.Intn(n)
+		cand[i], cand[j] = cand[j], cand[i]
+		return cand
+	}
+	from, to := rng.Intn(n), rng.Intn(n)
+	f := cand[from]
+	cand = append(cand[:from], cand[from+1:]...)
+	cand = append(cand, 0)
+	copy(cand[to+1:], cand[to:])
+	cand[to] = f
+	return cand
+}
+
+// moveAfter moves function b to the slot directly after function a,
+// in place.
+func moveAfter(order []ir.FuncID, a, b ir.FuncID) {
+	ai, bi := -1, -1
+	for i, f := range order {
+		switch f {
+		case a:
+			ai = i
+		case b:
+			bi = i
+		}
+	}
+	if ai < 0 || bi < 0 || a == b {
+		return
+	}
+	if bi > ai {
+		copy(order[ai+2:bi+1], order[ai+1:bi])
+		order[ai+1] = b
+	} else {
+		copy(order[bi:ai-1+1], order[bi+1:ai+1])
+		order[ai] = b
+	}
+}

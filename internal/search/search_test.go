@@ -1,0 +1,208 @@
+package search_test
+
+import (
+	"reflect"
+	"testing"
+
+	"impact/internal/analysis"
+	"impact/internal/cache"
+	"impact/internal/check"
+	"impact/internal/core"
+	"impact/internal/interp"
+	"impact/internal/layout"
+	"impact/internal/profile"
+	"impact/internal/search"
+	"impact/internal/workload"
+)
+
+// prepared runs the greedy pipeline on a synthetic workload and
+// returns the state the search stage starts from.
+func prepared(t *testing.T, seed uint64) (*core.Result, search.Input) {
+	t.Helper()
+	b, err := workload.Build(workload.Params{
+		Name: "search", InputDesc: "search", Seed: seed,
+		Phases: 2, WorkersPerPhase: [2]int{2, 3},
+		WorkerSegments: [2]int{1, 3}, BlockInstrs: [2]int{1, 8},
+		Utilities: 3, UtilInstrs: [2]int{2, 6},
+		ColdFuncs: 2, ColdFuncInstrs: [2]int{2, 8},
+		WorkerLoopTrips: 6, CallFrac: 0.5, DiamondFrac: 0.5, BranchBias: 0.8,
+		ColdEscapeFrac: 0.3, ColdEscapeProb: 0.02,
+		PhaseTrips: 2, TargetInstrs: 9000, ProfileRuns: 1,
+	})
+	if err != nil {
+		t.Fatalf("workload.Build: %v", err)
+	}
+	cfg := core.DefaultConfig(seed + 7)
+	cfg.Interp = interp.Config{MaxSteps: 1 << 19}
+	res, err := core.Optimize(b.Prog, cfg)
+	if err != nil {
+		t.Fatalf("core.Optimize: %v", err)
+	}
+	in := search.Input{
+		Prog: res.Prog, Weights: res.Weights,
+		Orders: res.Orders, Global: res.GlobalOrder,
+		SplitCold: cfg.Strategy.SplitCold,
+	}
+	return res, in
+}
+
+var tightGeom = cache.Config{SizeBytes: 512, BlockBytes: 32, Assoc: 1}
+
+// TestComposeMatchesPipeline: composing the pipeline's own orders must
+// reproduce the pipeline's layout address for address.
+func TestComposeMatchesPipeline(t *testing.T) {
+	res, in := prepared(t, 11)
+	lay, err := search.Compose(in.Prog, in.Orders, in.Global, in.SplitCold)
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	if lay.Total != res.Layout.Total {
+		t.Fatalf("Total %d != pipeline %d", lay.Total, res.Layout.Total)
+	}
+	for _, f := range in.Prog.Funcs {
+		for _, blk := range f.Blocks {
+			got := lay.BlockAddr(f.ID, blk.ID)
+			want := res.Layout.BlockAddr(f.ID, blk.ID)
+			if got != want {
+				t.Fatalf("func %d block %d: addr %#x != pipeline %#x", f.ID, blk.ID, got, want)
+			}
+		}
+	}
+}
+
+// TestOptimizeDeterministic: the search is a pure function of its
+// inputs and seed.
+func TestOptimizeDeterministic(t *testing.T) {
+	_, in := prepared(t, 3)
+	cfg := search.Config{Cache: tightGeom, Seed: 42, Budget: 48}
+	a, err := search.Optimize(in, cfg)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	b, err := search.Optimize(in, cfg)
+	if err != nil {
+		t.Fatalf("Optimize (repeat): %v", err)
+	}
+	if !reflect.DeepEqual(a.Order, b.Order) {
+		t.Fatalf("same seed, different orders:\n a=%v\n b=%v", a.Order.Funcs, b.Order.Funcs)
+	}
+	if a.Evals != b.Evals || a.Accepted != b.Accepted || a.Improved != b.Improved {
+		t.Fatalf("same seed, different trajectories: %+v vs %+v", a, b)
+	}
+	if a.Analysis.Bounds != b.Analysis.Bounds {
+		t.Fatalf("same seed, different bounds")
+	}
+}
+
+// TestOptimizeNeverWorse: whatever the walk does, the emitted order
+// must not lose to the input order on the objective, and its reported
+// analysis must be exactly the from-scratch analysis of the emitted
+// layout (the incremental scorer is bit-identical).
+func TestOptimizeNeverWorse(t *testing.T) {
+	for _, seed := range []uint64{3, 11, 19} {
+		_, in := prepared(t, seed)
+		res, err := search.Optimize(in, search.Config{Cache: tightGeom, Seed: 1, Budget: 64})
+		if err != nil {
+			t.Fatalf("seed %d: Optimize: %v", seed, err)
+		}
+		if res.Analysis.Bounds.Upper > res.Initial.Bounds.Upper {
+			t.Errorf("seed %d: emitted Upper %d worse than initial %d",
+				seed, res.Analysis.Bounds.Upper, res.Initial.Bounds.Upper)
+		}
+		if res.Improved && !(res.Analysis.Bounds.Upper < res.Initial.Bounds.Upper ||
+			res.Analysis.Conflicts.TotalExcess < res.Initial.Conflicts.TotalExcess ||
+			res.Analysis.Score.ExtTSP > res.Initial.Score.ExtTSP) {
+			t.Errorf("seed %d: Improved but no objective component improved", seed)
+		}
+
+		full, err := analysis.Analyze(res.Layout, in.Weights, analysis.Config{Cache: tightGeom})
+		if err != nil {
+			t.Fatalf("seed %d: Analyze: %v", seed, err)
+		}
+		got, want := *res.Analysis, *full
+		got.Iterations, want.Iterations = 0, 0
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: search's analysis differs from from-scratch analysis of its layout", seed)
+		}
+	}
+}
+
+// TestOptimizeCheckpoints: the ground-truth callback fires once per
+// CheckpointEvery accepted moves, in eval order, with the incumbent
+// layout.
+func TestOptimizeCheckpoints(t *testing.T) {
+	_, in := prepared(t, 3)
+	calls := 0
+	res, err := search.Optimize(in, search.Config{
+		Cache: tightGeom, Seed: 5, Budget: 64, CheckpointEvery: 1,
+		Checkpoint: func(lay *layout.Layout) (uint64, error) {
+			calls++
+			if lay == nil {
+				t.Fatal("checkpoint with nil layout")
+			}
+			return uint64(calls), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if calls != res.Accepted {
+		t.Fatalf("checkpoint calls %d != accepted moves %d", calls, res.Accepted)
+	}
+	if len(res.Checkpoints) != calls {
+		t.Fatalf("recorded %d checkpoints, callback ran %d times", len(res.Checkpoints), calls)
+	}
+	for i := 1; i < len(res.Checkpoints); i++ {
+		if res.Checkpoints[i].Eval <= res.Checkpoints[i-1].Eval {
+			t.Fatalf("checkpoints out of eval order: %+v", res.Checkpoints)
+		}
+	}
+}
+
+// TestSearchStage: the pipeline's fifth stage runs under strict
+// verification — every emitted layout passes the same funclayout and
+// globallayout analyzers as the greedy layout.
+func TestSearchStage(t *testing.T) {
+	b, err := workload.Build(workload.Params{
+		Name: "stage", InputDesc: "stage", Seed: 9,
+		Phases: 2, WorkersPerPhase: [2]int{2, 3},
+		WorkerSegments: [2]int{1, 3}, BlockInstrs: [2]int{1, 8},
+		Utilities: 3, UtilInstrs: [2]int{2, 6},
+		ColdFuncs: 2, ColdFuncInstrs: [2]int{2, 8},
+		WorkerLoopTrips: 6, CallFrac: 0.5, DiamondFrac: 0.5, BranchBias: 0.8,
+		ColdEscapeFrac: 0.3, ColdEscapeProb: 0.02,
+		PhaseTrips: 2, TargetInstrs: 9000, ProfileRuns: 1,
+	})
+	if err != nil {
+		t.Fatalf("workload.Build: %v", err)
+	}
+	cfg := core.DefaultConfig(16)
+	cfg.Interp = interp.Config{MaxSteps: 1 << 19}
+	cfg.Check = check.Strict
+	cfg.Search = &search.Config{Cache: tightGeom, Seed: 2, Budget: 48}
+	res, err := core.Optimize(b.Prog, cfg)
+	if err != nil {
+		t.Fatalf("core.Optimize with search: %v", err)
+	}
+	if res.Search == nil {
+		t.Fatal("no search result recorded")
+	}
+	if res.Search.Improved {
+		if res.Layout != res.Search.Layout {
+			t.Fatal("Improved search did not replace the pipeline layout")
+		}
+		if !reflect.DeepEqual(res.GlobalOrder, res.Search.Order) {
+			t.Fatal("Improved search did not replace the global order")
+		}
+	} else if res.Search.Initial.Bounds.Upper != res.Search.Analysis.Bounds.Upper {
+		t.Fatal("unimproved search changed the reported bounds")
+	}
+	// The searched layout still profiles/executes correctly.
+	w, _, err := profile.Profile(res.Prog, profile.Config{Seeds: []uint64{99}, Interp: cfg.Interp})
+	if err != nil {
+		t.Fatalf("profiling searched program: %v", err)
+	}
+	if w.DynInstrs == 0 {
+		t.Fatal("searched program executed nothing")
+	}
+}

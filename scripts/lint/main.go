@@ -1,5 +1,5 @@
 // Command lint is the repository's stdlib-only source linter, run in
-// CI next to gofmt and go vet. It enforces three local conventions:
+// CI next to gofmt and go vet. It enforces four local conventions:
 //
 //   - fmt.Print/Printf/Println are forbidden outside cmd/, examples/,
 //     scripts/, and test files: library packages report through
@@ -14,6 +14,12 @@
 //     map iteration order is randomised, and silent nondeterminism in
 //     library code undermines the repo's reproducibility guarantees
 //     (see maprange.go).
+//   - time.Now() and math/rand imports are forbidden in non-test
+//     internal/ code: library passes — the layout search above all —
+//     must be deterministic functions of their inputs and seeds.
+//     Randomness comes from seeded internal/xrand; a time.Now() used
+//     for timing spans or progress carries a //lint:walltime <reason>
+//     waiver (see walltime.go).
 //
 // Usage: go run ./scripts/lint [root]  (root defaults to ".")
 package main
@@ -89,7 +95,8 @@ func docRequired(rel string) bool {
 func lintFile(root, rel string) []string {
 	checkPrints := !printAllowed(rel)
 	checkDocs := docRequired(rel)
-	if !checkPrints && !checkDocs {
+	checkTime := walltimeChecked(rel)
+	if !checkPrints && !checkDocs && !checkTime {
 		return nil
 	}
 	fset := token.NewFileSet()
@@ -98,6 +105,9 @@ func lintFile(root, rel string) []string {
 		return []string{fmt.Sprintf("%s: parse error: %v", rel, err)}
 	}
 	var problems []string
+	if checkTime {
+		problems = append(problems, lintWalltime(fset, file, rel)...)
+	}
 	report := func(pos token.Pos, format string, args ...any) {
 		p := fset.Position(pos)
 		problems = append(problems, fmt.Sprintf("%s:%d: %s", rel, p.Line, fmt.Sprintf(format, args...)))

@@ -1,0 +1,82 @@
+package main
+
+// Rule 4: wall-clock time and unseeded randomness in non-test
+// internal/ code. The layout search (internal/search) and every other
+// library pass must be a deterministic function of its inputs and
+// seeds: a time.Now() feeding a decision, or the global math/rand
+// stream, silently makes layouts irreproducible. Randomness must come
+// from internal/xrand (explicitly seeded, recorded in configs), and
+// elapsed time may only be observed — never branched on — at waived
+// sites:
+//
+//	//lint:walltime <reason>
+//
+// on the call's line or the line above waives one time.Now() call
+// (timing spans, progress reporting). An import of math/rand or
+// math/rand/v2 has no waiver: seeded xrand replaces every library use,
+// so the import itself is the defect.
+//
+// The check is syntactic, like the fmt.Print rule: a local identifier
+// shadowing the time package could slip through, but the repo's style
+// never shadows stdlib package names, and the cheap check runs on
+// every file without type information.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// walltimeChecked reports whether rel is subject to rule 4:
+// non-test code under internal/.
+func walltimeChecked(rel string) bool {
+	return strings.HasPrefix(rel, "internal/") && !strings.HasSuffix(rel, "_test.go")
+}
+
+// lintWalltime applies rule 4 to one parsed file.
+func lintWalltime(fset *token.FileSet, file *ast.File, rel string) []string {
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", rel, p.Line, fmt.Sprintf(format, args...)))
+	}
+
+	for _, imp := range file.Imports {
+		switch strings.Trim(imp.Path.Value, `"`) {
+		case "math/rand", "math/rand/v2":
+			report(imp.Pos(), "import of %s: library randomness must be seeded impact/internal/xrand", strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+
+	waived := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			txt := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(txt, "lint:walltime"); ok && strings.TrimSpace(rest) != "" {
+				waived[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "time" || sel.Sel.Name != "Now" {
+			return true
+		}
+		line := fset.Position(call.Pos()).Line
+		if waived[line] || waived[line-1] {
+			return true
+		}
+		report(call.Pos(), "time.Now in library code: nondeterministic; thread a timestamp in or waive with //lint:walltime <reason>")
+		return true
+	})
+	return problems
+}
