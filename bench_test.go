@@ -27,6 +27,7 @@ import (
 
 	"impact/internal/analysis"
 	"impact/internal/cache"
+	"impact/internal/cache/sweep"
 	"impact/internal/core/globallayout"
 	"impact/internal/experiments"
 	"impact/internal/ir"
@@ -653,4 +654,72 @@ func BenchmarkAnalyzeSimulate(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(misses)/1e6, "missesM")
+}
+
+// BenchmarkStackPassSharded times the banded Mattson stack pass on
+// every benchmark's optimized trace at a 32-set/64B geometry, with the
+// machine's full parallelism. Bands add more total work than the
+// serial pass (every band scans the full run stream), so single-CPU
+// hosts should compare against BenchmarkAnalyzeSimulate with care;
+// multi-core hosts see the wall-clock win. With one worker ShardRun
+// falls back to the serial pass.
+func BenchmarkStackPassSharded(b *testing.B) {
+	s := benchSuite(b)
+	geom := cache.Config{SizeBytes: 32 * 64 * 16, BlockBytes: 64, Assoc: 16}
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	var misses uint64
+	for i := 0; i < b.N; i++ {
+		misses = 0
+		for _, p := range s.Items {
+			pass, err := sweep.ShardRun(p.OptTrace, 64, 32, workers, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := pass.Stats(geom)
+			if err != nil {
+				b.Fatal(err)
+			}
+			misses += st.Misses
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(misses)/1e6, "missesM")
+}
+
+// BenchmarkSearchParallel times the portfolio layout search with the
+// machine's full parallelism: eight independent climbs raced across
+// GOMAXPROCS workers on cloned incremental analyzers. The result — and
+// therefore the upperM metric — is bit-identical for every worker
+// count (see docs/SEARCH.md), so only ns/op varies across hosts.
+func BenchmarkSearchParallel(b *testing.B) {
+	s := benchSuite(b)
+	p := s.Items[0]
+	w, err := p.EvalWeights()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := search.Input{
+		Prog: p.Opt.Prog, Weights: w,
+		Orders: p.Opt.Orders, Global: p.Opt.GlobalOrder,
+		SplitCold: true,
+	}
+	cfg := search.Config{
+		Cache:    cache.Config{SizeBytes: 512, BlockBytes: 64, Assoc: 1},
+		Seed:     1,
+		Budget:   96,
+		Restarts: 7,
+		Workers:  runtime.GOMAXPROCS(0),
+	}
+	b.ResetTimer()
+	var upper uint64
+	for i := 0; i < b.N; i++ {
+		res, err := search.Optimize(in, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		upper = res.Analysis.Bounds.Upper
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(upper)/1e6, "upperM")
 }

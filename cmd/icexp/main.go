@@ -5,8 +5,8 @@
 // Usage:
 //
 //	icexp [-scale 1.0] [-tables 1,2,3,...] [-ablations] [-extensions]
-//	      [-analyze] [-search] [-report] [-check off|warn|strict] [-v]
-//	      [-metrics-out m.json] [-trace-out t.json]
+//	      [-analyze] [-search] [-report] [-check off|warn|strict]
+//	      [-workers N] [-v] [-metrics-out m.json] [-trace-out t.json]
 //	      [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // -scale multiplies the dynamic trace lengths (1.0 reproduces the
@@ -48,6 +48,7 @@ func main() {
 	searchFlag := flag.Bool("search", false, "also run the conflict-driven layout search against the greedy pipeline")
 	report := flag.Bool("report", false, "also print each benchmark's per-stage locality ledger")
 	checkMode := flag.String("check", "off", "pipeline verification mode: off, warn, or strict")
+	workers := cliutil.AddWorkersFlag(flag.CommandLine)
 	common := cliutil.AddFlags(flag.CommandLine)
 	flag.Parse()
 	mode, err := check.ParseMode(*checkMode)
@@ -57,6 +58,7 @@ func main() {
 	if err := common.Start("icexp"); err != nil {
 		fatal(err)
 	}
+	experiments.Configure(experiments.EngineConfig{Workers: *workers})
 
 	want := map[string]bool{}
 	for _, t := range strings.Split(*tables, ",") {
@@ -254,7 +256,7 @@ func main() {
 		emit("search", func() (string, error) {
 			geom := cache.Config{SizeBytes: 512, BlockBytes: 64, Assoc: 1}
 			rows, err := experiments.SearchCompare(suite, geom, search.Config{
-				Seed: 1, Obs: common.Registry,
+				Seed: 1, Workers: *workers, Obs: common.Registry,
 			})
 			if err != nil {
 				return "", err
@@ -268,8 +270,9 @@ func main() {
 	passes := common.Registry.Counter("sweep.trace_passes").Value()
 	reused := common.Registry.Counter("sweep.stack_pass_reused").Value()
 	sharded := common.Registry.Counter("sweep.sharded_sims").Value()
-	fmt.Fprintf(os.Stderr, "sweep engine: %d simulations (%d stack-derived) in %d trace passes, %d served from memo, %d from retained passes, %d set-sharded\n",
-		run, stack, passes, memo, reused, sharded)
+	banded := common.Registry.Counter("sweep.stack_sharded").Value()
+	fmt.Fprintf(os.Stderr, "sweep engine: %d simulations (%d stack-derived) in %d trace passes, %d served from memo, %d from retained passes, %d set-sharded, %d banded stack passes\n",
+		run, stack, passes, memo, reused, sharded, banded)
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
 	common.MustClose()
 }

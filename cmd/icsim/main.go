@@ -6,7 +6,7 @@
 //	icsim -trace prog.itr [-size 2048] [-block 64] [-assoc 1]
 //	      [-sizes 512,1024,...] [-sector 0] [-partial]
 //	      [-replacement lru|fifo|random] [-prefetch] [-latency 0]
-//	      [-cwf=true]
+//	      [-cwf=true] [-workers N]
 //	      [-v] [-metrics-out m.json] [-cpuprofile f] [-memprofile f]
 //
 // It prints the miss ratio, memory traffic ratio, and (for partial
@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 
 	"impact/internal/cache"
 	"impact/internal/cache/sweep"
@@ -48,6 +49,7 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "prefetch the next sequential block on every demand miss")
 	latency := flag.Int("latency", 0, "memory initial access latency in cycles (0 = timing model off)")
 	cwf := flag.Bool("cwf", true, "critical-word-first load forwarding (timing model)")
+	workers := cliutil.AddWorkersFlag(flag.CommandLine)
 	common := cliutil.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if err := common.Start("icsim"); err != nil {
@@ -93,16 +95,41 @@ func main() {
 	}
 	sp := common.Registry.Span("icsim/simulate")
 	sp.SetAttr("cache", cfg.String())
-	sim, err := cache.NewSinkSimulator(cfg)
-	if err != nil {
-		sp.End()
-		fatal(err)
+	// Stack-eligible organisations with spare cores stream through the
+	// banded Mattson stack pass: one stack per set band on its own
+	// worker, merged exactly, still single-pass and constant-memory.
+	w := *workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	if err := rd.Replay(memtrace.Tee(sim, &count)); err != nil {
-		sp.End()
-		fatal(err)
+	var stats cache.Stats
+	if w >= 2 && sweep.Eligible(cfg) {
+		block, sets := sweep.Geometry(cfg)
+		z, err := sweep.NewShardStream(block, sets, w, common.Registry)
+		if err != nil {
+			sp.End()
+			fatal(err)
+		}
+		if err := rd.Replay(memtrace.Tee(z, &count)); err != nil {
+			sp.End()
+			fatal(err)
+		}
+		if stats, err = z.Pass().Stats(cfg); err != nil {
+			sp.End()
+			fatal(err)
+		}
+	} else {
+		sim, err := cache.NewSinkSimulator(cfg)
+		if err != nil {
+			sp.End()
+			fatal(err)
+		}
+		if err := rd.Replay(memtrace.Tee(sim, &count)); err != nil {
+			sp.End()
+			fatal(err)
+		}
+		stats = sim.Stats()[0]
 	}
-	stats := sim.Stats()[0]
 	sp.End()
 	slog.Debug("trace streamed", "file", *tracePath, "instrs", count.Instrs, "runs", count.Runs)
 

@@ -27,10 +27,11 @@
 //	    add -json for machine-readable output).
 //
 //	impact search [-scale 1.0] [-bench <name>] [-seed 1] [-budget N]
-//	    [-restarts N] [cache flags]
+//	    [-restarts N] [-workers N] [cache flags]
 //	    Run the conflict-driven layout search against the greedy
 //	    pipeline and print the simulator-priced comparison (see
-//	    docs/SEARCH.md).
+//	    docs/SEARCH.md). -workers races restarts on a portfolio of
+//	    incremental analyzers; the result is identical at any count.
 //
 //	impact check -bench <name> [-all] [-scale 1.0] [-strategy ...]
 //	    Run the pipeline with the internal/check verifier enabled and
@@ -326,6 +327,7 @@ func cmdSimulate(args []string) {
 	name, scale := benchFlag(fs)
 	cf := cliutil.AddCacheFlags(fs)
 	layoutSel := fs.String("layout", "both", "layouts to simulate: both, opt, or nat (a lone layout may set-shard across idle cores)")
+	workers := cliutil.AddWorkersFlag(fs)
 	common := startCommon(fs, args)
 	defer common.MustClose()
 	b := mustBench(*name, *scale)
@@ -360,6 +362,7 @@ func cmdSimulate(args []string) {
 	// by cache set when cores are spare (sweep.sharded_sims counts
 	// them — the CI multi-core step asserts the path is exercised).
 	eng := experiments.NewEngine()
+	eng.Configure(experiments.EngineConfig{Workers: *workers})
 	eng.AttachObs(common.Registry)
 	type laid struct {
 		label string
@@ -514,6 +517,7 @@ func cmdRun(args []string) {
 	maxSteps := fs.Uint64("maxsteps", 50_000_000, "per-run instruction cap")
 	report := fs.Bool("report", false, "print the per-stage locality ledger")
 	cf := cliutil.AddCacheFlags(fs)
+	workers := cliutil.AddWorkersFlag(fs)
 	common := startCommon(fs, args)
 	defer common.MustClose()
 	if *irPath == "" {
@@ -573,6 +577,7 @@ func cmdRun(args []string) {
 	// (sweep-worker-N) in the -trace-out timeline.
 	ccfg := cf.Config()
 	eng := experiments.NewEngine()
+	eng.Configure(experiments.EngineConfig{Workers: *workers})
 	eng.AttachObs(common.Registry)
 	stats, err := eng.Batch([]experiments.SimRequest{
 		{Trace: optTr, Config: ccfg},

@@ -25,9 +25,11 @@ func cmdSearch(args []string) {
 	seed := fs.Uint64("seed", 1, "search RNG seed")
 	budget := fs.Int("budget", search.DefaultBudget, "evaluation budget per restart")
 	restarts := fs.Int("restarts", search.DefaultRestarts, "independent restarts")
+	workers := cliutil.AddWorkersFlag(fs)
 	cf := cliutil.AddCacheFlags(fs)
 	common := startCommon(fs, args)
 	defer common.MustClose()
+	experiments.Configure(experiments.EngineConfig{Workers: *workers})
 
 	ccfg := cf.Config()
 	if err := ccfg.Validate(); err != nil {
@@ -57,7 +59,7 @@ func cmdSearch(args []string) {
 
 	rows, err := experiments.SearchCompare(suite, ccfg, search.Config{
 		Seed: *seed, Budget: *budget, Restarts: *restarts,
-		Obs: common.Registry,
+		Workers: *workers, Obs: common.Registry,
 	})
 	if err != nil {
 		fatal(err)

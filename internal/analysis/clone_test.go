@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"testing"
+
+	"impact/internal/cache"
+	"impact/internal/interp"
+	"impact/internal/layout"
+	"impact/internal/profile"
+	"impact/internal/workload"
+)
+
+func TestCloneMatchesFreshEngine(t *testing.T) {
+	b, err := workload.Build(workload.Params{
+		Name: "clone", InputDesc: "clone", Seed: 5,
+		Phases: 2, WorkersPerPhase: [2]int{1, 2},
+		WorkerSegments: [2]int{1, 3}, BlockInstrs: [2]int{1, 8},
+		Utilities: 2, UtilInstrs: [2]int{2, 6},
+		ColdFuncs: 1, ColdFuncInstrs: [2]int{2, 8},
+		WorkerLoopTrips: 4, CallFrac: 0.5, DiamondFrac: 0.5, BranchBias: 0.8,
+		ColdEscapeFrac: 0.3, ColdEscapeProb: 0.02,
+		PhaseTrips: 2, TargetInstrs: 6000, ProfileRuns: 1,
+	})
+	if err != nil {
+		t.Fatalf("workload.Build: %v", err)
+	}
+	w, _, err := profile.Profile(b.Prog, profile.Config{Seeds: []uint64{55}, Interp: interp.Config{MaxSteps: 1 << 18}})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	for _, cfg := range []cache.Config{
+		{SizeBytes: 512, BlockBytes: 32, Assoc: 1},
+		{SizeBytes: 1024, BlockBytes: 64, Assoc: 2},
+	} {
+		acfg := Config{Cache: cfg}
+		inc, err := NewIncremental(layout.Natural(b.Prog), w, acfg)
+		if err != nil {
+			t.Fatalf("NewIncremental: %v", err)
+		}
+		// Walk the original off its base state first, so the clone
+		// captures a genuinely incremental snapshot (with spans, fits,
+		// and score caches all delta-maintained, not freshly built).
+		n := len(b.Prog.Funcs)
+		for step := 0; step < 2 && n > 1; step++ {
+			if _, err := inc.Update(swapFuncs(t, b.Prog, step%n, (step+1)%n)); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+		}
+
+		cl := inc.Clone()
+		sameResult(t, "clone snapshot", cl.Result(), inc.Result())
+		if err := cl.Revert(); err == nil {
+			t.Fatal("Revert on a fresh clone should error (no pending undo)")
+		}
+
+		// A from-scratch engine at the same layout is the referee: the
+		// clone must track it bit for bit through a divergent walk while
+		// the original walks elsewhere.
+		fresh, err := NewIncremental(inc.Layout(), w, acfg)
+		if err != nil {
+			t.Fatalf("NewIncremental(fresh): %v", err)
+		}
+		cloneWalk := []*layout.Layout{
+			swapFuncs(t, b.Prog, 0, n-1),
+			layout.Random(b.Prog, 99),
+			swapFuncs(t, b.Prog, n/2, 0),
+		}
+		origWalk := []*layout.Layout{
+			layout.Random(b.Prog, 123),
+			swapFuncs(t, b.Prog, 0, 1),
+		}
+		for i, lay := range cloneWalk {
+			got, err := cl.Update(lay)
+			if err != nil {
+				t.Fatalf("clone Update %d: %v", i, err)
+			}
+			want, err := fresh.Update(lay)
+			if err != nil {
+				t.Fatalf("fresh Update %d: %v", i, err)
+			}
+			sameResult(t, "clone walk", got, want)
+			if i < len(origWalk) {
+				ogot, err := inc.Update(origWalk[i])
+				if err != nil {
+					t.Fatalf("orig Update %d: %v", i, err)
+				}
+				sameResult(t, "orig walk", ogot, mustAnalyze(t, origWalk[i], w, acfg))
+			}
+		}
+
+		// Revert works on the clone once it has an update to undo.
+		before := cl.Result()
+		if _, err := cl.Update(swapFuncs(t, b.Prog, 1, n-1)); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		if err := cl.Revert(); err != nil {
+			t.Fatalf("clone Revert: %v", err)
+		}
+		sameResult(t, "clone revert", cl.Result(), before)
+
+		// A clone of the walked clone stays exact too.
+		cl2 := cl.Clone()
+		lay := layout.Random(b.Prog, 7)
+		got, err := cl2.Update(lay)
+		if err != nil {
+			t.Fatalf("clone² Update: %v", err)
+		}
+		sameResult(t, "clone²", got, mustAnalyze(t, lay, w, acfg))
+	}
+}

@@ -163,6 +163,15 @@ func (c *Common) MustClose() {
 	}
 }
 
+// AddWorkersFlag registers the shared -workers flag: the parallelism
+// cap for the measurement engine's pools (sharded replays, banded
+// stack passes, portfolio search). Zero means GOMAXPROCS; one forces
+// the exact serial code paths. Results are identical for every value —
+// the flag only trades wall-clock time.
+func AddWorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker `count` for parallel measurement and search (0 = GOMAXPROCS, 1 = serial)")
+}
+
 // CacheFlags holds the cache-geometry flags shared by every command
 // that parameterises a cache organisation (icsim, impact simulate,
 // impact run, impact analyze): one definition, one set of defaults,

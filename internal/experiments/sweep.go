@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -124,6 +126,7 @@ type sweepObs struct {
 	tracePasses  *obs.Counter
 	passReused   *obs.Counter
 	shardedSims  *obs.Counter
+	stackSharded *obs.Counter
 }
 
 // passKey identifies one stack pass by trace content and geometry.
@@ -136,6 +139,7 @@ type passKey struct {
 // not usable; use NewEngine. Engines are safe for concurrent use.
 type Engine struct {
 	mu   sync.Mutex
+	cfg  EngineConfig
 	memo map[simKey]cache.Stats
 	// passes retains every completed stack pass by (trace fingerprint,
 	// geometry). A later request for an organisation the pass covers —
@@ -146,12 +150,94 @@ type Engine struct {
 	obs    atomic.Pointer[sweepObs]
 }
 
-// NewEngine returns an empty engine.
+// EngineConfig tunes the engine's parallelism. The zero value of every
+// field means "keep the current setting" — package defaults at
+// construction (layered under the IMPACT_* environment overrides), or
+// whatever a previous Configure chose.
+type EngineConfig struct {
+	// Workers caps the measurement pool: both the number of concurrent
+	// trace passes and the fan-out available for intra-trace sharding
+	// (set-sharded replay, banded stack passes). Zero means GOMAXPROCS;
+	// one forces strictly serial measurement.
+	Workers int
+	// ShardMinInstrs gates set-sharded single-config replay
+	// (cache.ShardSimulate) to traces at least this many instructions
+	// long. Env override: IMPACT_SHARD_MIN_INSTRS.
+	ShardMinInstrs uint64
+	// StackBandMinInstrs gates the banded Mattson stack pass
+	// (sweep.ShardRun) the same way. The stack pass does more work per
+	// trace word than a replay, so its default threshold is lower. Env
+	// override: IMPACT_STACK_BAND_MIN_INSTRS.
+	StackBandMinInstrs uint64
+}
+
+// envConfig reads the IMPACT_* tuning overrides.
+func envConfig() EngineConfig {
+	var cfg EngineConfig
+	if v, err := strconv.ParseUint(os.Getenv("IMPACT_SHARD_MIN_INSTRS"), 10, 64); err == nil {
+		cfg.ShardMinInstrs = v
+	}
+	if v, err := strconv.ParseUint(os.Getenv("IMPACT_STACK_BAND_MIN_INSTRS"), 10, 64); err == nil {
+		cfg.StackBandMinInstrs = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("IMPACT_SWEEP_WORKERS")); err == nil {
+		cfg.Workers = v
+	}
+	return cfg
+}
+
+// NewEngine returns an empty engine tuned by the package defaults and
+// the IMPACT_* environment overrides.
 func NewEngine() *Engine {
 	return &Engine{
+		cfg:    envConfig(),
 		memo:   make(map[simKey]cache.Stats),
 		passes: make(map[passKey]*sweep.StackPass),
 	}
+}
+
+// Configure overrides the engine's tuning for subsequent batches; zero
+// fields keep their current values.
+func (e *Engine) Configure(cfg EngineConfig) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cfg.Workers != 0 {
+		e.cfg.Workers = cfg.Workers
+	}
+	if cfg.ShardMinInstrs != 0 {
+		e.cfg.ShardMinInstrs = cfg.ShardMinInstrs
+	}
+	if cfg.StackBandMinInstrs != 0 {
+		e.cfg.StackBandMinInstrs = cfg.StackBandMinInstrs
+	}
+}
+
+// Configure applies cfg to the shared engine backing the package-level
+// experiment entry points.
+func Configure(cfg EngineConfig) { sharedEngine.Configure(cfg) }
+
+// tuning resolves the effective settings for one batch. explicit
+// reports whether the worker count was requested (config or env)
+// rather than derived from GOMAXPROCS — an explicit 1 suppresses even
+// the unit pool's two-lane floor.
+func (e *Engine) tuning() (workers int, explicit bool, shardMin, bandMin uint64) {
+	e.mu.Lock()
+	cfg := e.cfg
+	e.mu.Unlock()
+	workers = cfg.Workers
+	explicit = workers > 0
+	if workers < 1 {
+		workers = shardPool
+	}
+	shardMin = cfg.ShardMinInstrs
+	if shardMin == 0 {
+		shardMin = shardMinInstrs
+	}
+	bandMin = cfg.StackBandMinInstrs
+	if bandMin == 0 {
+		bandMin = stackBandMinInstrs
+	}
+	return workers, explicit, shardMin, bandMin
 }
 
 // sharedEngine backs every measurement in this package, so results are
@@ -175,6 +261,7 @@ func (e *Engine) AttachObs(r *obs.Registry) {
 		tracePasses:  r.Counter("sweep.trace_passes"),
 		passReused:   r.Counter("sweep.stack_pass_reused"),
 		shardedSims:  r.Counter("sweep.sharded_sims"),
+		stackSharded: r.Counter("sweep.stack_sharded"),
 	})
 }
 
@@ -287,17 +374,26 @@ func (e *Engine) Batch(reqs []SimRequest) ([]cache.Stats, error) {
 	}
 
 	units := e.plan(pending)
-	// Leftover pool parallelism shards individual simulations by set
-	// band: with fewer units than workers, each replay unit may fan one
-	// trace across the idle workers (cache.ShardSimulate).
+	pool, explicit, shardMin, bandMin := e.tuning()
+	// Leftover pool parallelism shards individual trace passes by set
+	// band: with fewer units than workers, each unit may fan one trace
+	// across the idle workers (cache.ShardSimulate for replays,
+	// sweep.ShardRun for stack passes).
 	shardWorkers := 0
 	if n := len(units); n > 0 {
-		shardWorkers = shardPool / n
+		shardWorkers = pool / n
+	}
+	// The unit pool keeps its historical two-lane floor (trace passes
+	// interleave harmlessly and the timeline stays legible on one core)
+	// unless the caller explicitly asked for serial measurement.
+	unitPool := pool
+	if !explicit && unitPool < 2 {
+		unitPool = 2
 	}
 	results := make(map[simKey]cache.Stats, len(pending))
 	var resMu sync.Mutex
-	if err := runUnits(o, units, func(u workUnit) error {
-		got, p, err := u.run(o, shardWorkers)
+	if err := runUnits(o, unitPool, units, func(u workUnit) error {
+		got, p, err := u.run(o, shardWorkers, shardMin, bandMin)
 		if err != nil {
 			return err
 		}
@@ -419,18 +515,44 @@ func (e *Engine) passStats(k simKey) (cache.Stats, bool) {
 // merge overhead would only slow the batch down. Variable for tests.
 var shardPool = runtime.GOMAXPROCS(0)
 
-// shardMinInstrs gates sharding to traces long enough that the
-// per-worker replay amortises goroutine startup and the per-run merge.
-// Variable for tests.
+// shardMinInstrs is the default gate for set-sharded replay: traces
+// long enough that the per-worker replay amortises goroutine startup
+// and the per-run merge. Variable for tests; engine config and the
+// IMPACT_SHARD_MIN_INSTRS env override layer on top.
 var shardMinInstrs uint64 = 1 << 16
 
+// stackBandMinInstrs is the default gate for the banded stack pass.
+// The Mattson stack does more work per trace word than a replay
+// (distance search + histogram + exec claims), so banding pays for
+// itself on shorter traces; the threshold sits one octave below the
+// replay gate. Variable for tests; engine config and the
+// IMPACT_STACK_BAND_MIN_INSTRS env override layer on top.
+var stackBandMinInstrs uint64 = 1 << 15
+
 // run executes one trace pass and returns stats aligned with u.keys,
-// plus the stack pass for the engine to retain (nil for replays). A
-// replay unit with a single shardable organisation and spare pool
-// parallelism runs through the set-sharded simulator instead.
-func (u workUnit) run(o *sweepObs, shardWorkers int) ([]cache.Stats, *sweep.StackPass, error) {
+// plus the stack pass for the engine to retain (nil for replays). With
+// spare pool parallelism the pass itself shards by set band: a stack
+// unit over a multi-set geometry runs one Mattson stack per band
+// (sweep.ShardRun), and a replay unit with a single shardable
+// organisation runs through the set-sharded simulator.
+func (u workUnit) run(o *sweepObs, shardWorkers int, shardMin, bandMin uint64) ([]cache.Stats, *sweep.StackPass, error) {
 	if u.stack {
-		p, err := sweep.Run(u.tr, u.blockBytes, u.nSets)
+		var p *sweep.StackPass
+		var err error
+		// nSets >= 2 guarantees at least two bands, so this branch never
+		// silently falls back to the serial pass under the counter.
+		if shardWorkers >= 2 && u.nSets >= 2 && u.tr.Instrs >= bandMin {
+			var reg *obs.Registry
+			if o != nil {
+				reg = o.reg
+			}
+			p, err = sweep.ShardRun(u.tr, u.blockBytes, u.nSets, shardWorkers, reg)
+			if err == nil && o != nil {
+				o.stackSharded.Inc()
+			}
+		} else {
+			p, err = sweep.Run(u.tr, u.blockBytes, u.nSets)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -444,7 +566,7 @@ func (u workUnit) run(o *sweepObs, shardWorkers int) ([]cache.Stats, *sweep.Stac
 		}
 		return out, p, nil
 	}
-	if len(u.keys) == 1 && shardWorkers >= 2 && u.tr.Instrs >= shardMinInstrs {
+	if len(u.keys) == 1 && shardWorkers >= 2 && u.tr.Instrs >= shardMin {
 		cfg := u.keys[0].cfg.config()
 		if cache.ShardEligible(cfg) {
 			st, err := cache.ShardSimulate(cfg, u.tr, shardWorkers)
@@ -465,14 +587,14 @@ func (u workUnit) run(o *sweepObs, shardWorkers int) ([]cache.Stats, *sweep.Stac
 	return out, nil, err
 }
 
-// runUnits executes the units on a fixed channel-fed worker pool
-// bounded by GOMAXPROCS and returns the first error. Each worker owns
-// one timeline lane ("sweep-worker-N", stable across batches because
-// tracer lanes dedupe by name), and every unit runs under a
-// "sweep/task" span on that lane carrying its kind and size — the
-// concurrency structure of a sweep is legible straight off the
-// timeline.
-func runUnits(o *sweepObs, units []workUnit, do func(workUnit) error) error {
+// runUnits executes the units on a worker pool bounded by pool and
+// returns the first error. Each worker owns one timeline lane
+// ("sweep-worker-N", stable across batches because tracer lanes dedupe
+// by name), and every unit runs under a "sweep/task" span on that lane
+// carrying its kind and size — the concurrency structure of a sweep is
+// legible straight off the timeline. pool == 1 (an explicit Workers: 1
+// or a GOMAXPROCS=1 host) runs strictly serial: no goroutines at all.
+func runUnits(o *sweepObs, pool int, units []workUnit, do func(workUnit) error) error {
 	if len(units) == 0 {
 		return nil
 	}
@@ -492,14 +614,19 @@ func runUnits(o *sweepObs, units []workUnit, do func(workUnit) error) error {
 		sp.End()
 		return err
 	}
-	// At least two workers when there is work for two: trace passes are
-	// independent and interleave harmlessly on one core, and the
-	// timeline then shows the sweep's parallel structure even on
-	// single-CPU machines.
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 2 {
-		workers = 2
+	if pool == 1 {
+		var lane obs.Lane
+		if o != nil {
+			lane = o.reg.NewLane("sweep-worker-0")
+		}
+		for _, u := range units {
+			if err := run(lane, u); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
+	workers := pool
 	if workers > len(units) {
 		workers = len(units)
 	}

@@ -18,10 +18,22 @@
 // layout, on every machine. Periodic ground-truth checkpoints hand the
 // incumbent layout to a caller-supplied simulator callback so long
 // searches can confirm the static objective tracks measured misses.
+//
+// Restarts run as a portfolio: every climb is an independent function
+// of (input, seed, climb index) — it starts from the input order (the
+// k-th climb kicked by the k-th seeded RNG stream), carries a fixed
+// evaluation allowance, and never reads another climb's state. That
+// makes the climbs embarrassingly parallel: with Workers > 1 each
+// worker owns a cloned analysis.Incremental engine and races climbs
+// round-robin, and the final reduction — best lexicographic objective,
+// ties to the lowest climb index — picks the same winner regardless of
+// scheduling. Workers only changes wall-clock time, never the result.
 package search
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"impact/internal/analysis"
 	"impact/internal/cache"
@@ -58,6 +70,11 @@ type Config struct {
 	// climb; the budget is split evenly across climbs. Zero means
 	// DefaultRestarts; negative means none.
 	Restarts int
+	// Workers bounds the portfolio workers racing the climbs. Zero
+	// means GOMAXPROCS; one forces the exact serial code path (no
+	// goroutines, no engine clones). The worker count is always capped
+	// at the climb count, and the result is identical for every value.
+	Workers int
 	// CheckpointEvery invokes Checkpoint after every n-th accepted
 	// improvement. Zero means DefaultCheckpointEvery; negative
 	// disables checkpoints.
@@ -65,7 +82,10 @@ type Config struct {
 	// Checkpoint, when non-nil, receives the incumbent layout at
 	// checkpoints and returns its ground-truth miss count (callers
 	// typically run cache.Simulate over the evaluation trace). A nil
-	// callback disables checkpoints.
+	// callback disables checkpoints. With Workers > 1 calls are
+	// serialized under a mutex but their arrival order depends on
+	// scheduling; the recorded Result.Checkpoints are always in
+	// deterministic climb order.
 	Checkpoint func(*layout.Layout) (uint64, error)
 	// Obs receives spans and counters; nil disables instrumentation.
 	Obs *obs.Registry
@@ -230,88 +250,217 @@ func Optimize(in Input, cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	rng := xrand.New(xrand.Seed(cfg.Seed, 0x5ea6c4))
-	cur := append([]ir.FuncID(nil), in.Global.Funcs...)
-	curObj := objectiveOf(inc.Result())
-	bestObj := curObj
-	initObj := curObj
+	initObj := objectiveOf(inc.Result())
 
+	// Split the budget into fixed per-climb allowances. The split is a
+	// pure function of the config — never of scheduling — so every
+	// climb's trajectory is reproducible in isolation. The last climb
+	// absorbs the rounding remainder.
 	climbs := cfg.Restarts + 1
-	perClimb := cfg.Budget / climbs
-	if perClimb == 0 {
-		perClimb = 1
+	base := cfg.Budget / climbs
+	if base < 1 {
+		base = 1
 	}
-	for climb := 0; climb < climbs && res.Evals < cfg.Budget; climb++ {
-		if climb > 0 {
-			// Restart: kick the best order with two random swaps and
-			// re-anchor the climb there. The kick itself spends an eval.
-			res.Restarts++
-			reg.Counter("search.restarts").Inc()
-			cur = append(cur[:0], res.Order.Funcs...)
-			for k := 0; k < 2; k++ {
-				i, j := rng.Intn(n), rng.Intn(n)
-				cur[i], cur[j] = cur[j], cur[i]
-			}
-			lay, err := Compose(in.Prog, in.Orders, globallayout.Order{Funcs: cur}, in.SplitCold)
+	p := &portfolio{in: in, cfg: cfg, n: n, baseLay: baseLay, initObj: initObj,
+		alloc:  make([]int, climbs),
+		offset: make([]int, climbs),
+	}
+	total := 0
+	for k := range p.alloc {
+		p.alloc[k] = base
+		p.offset[k] = total
+		total += base
+	}
+	if last := cfg.Budget - (climbs-1)*base; last > base {
+		p.alloc[climbs-1] = last
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > climbs {
+		workers = climbs
+	}
+	reg.Gauge("search.parallel_workers").Set(float64(workers))
+
+	results := make([]*climbResult, climbs)
+	if workers < 2 {
+		// Exact serial path: one engine, no goroutines, no clones, and
+		// the raw checkpoint callback.
+		p.ckpt = cfg.Checkpoint
+		for k := range results {
+			cr, err := p.climb(k, inc)
 			if err != nil {
-				return nil, fmt.Errorf("search: composing restart order: %w", err)
+				return nil, fmt.Errorf("search: climb %d: %w", k, err)
 			}
-			kicked, err := inc.Update(lay)
-			if err != nil {
-				return nil, fmt.Errorf("search: analysing restart order: %w", err)
-			}
-			res.Evals++
-			curObj = objectiveOf(kicked)
+			results[k] = cr
 		}
-		deadline := res.Evals + perClimb
-		if climb == climbs-1 || deadline > cfg.Budget {
-			deadline = cfg.Budget
+	} else {
+		var mu sync.Mutex
+		if cfg.Checkpoint != nil {
+			p.ckpt = func(lay *layout.Layout) (uint64, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return cfg.Checkpoint(lay)
+			}
 		}
-		for res.Evals < deadline {
-			cand := propose(cur, inc.Result().Conflicts.Pairs, rng)
-			lay, err := Compose(in.Prog, in.Orders, globallayout.Order{Funcs: cand}, in.SplitCold)
-			if err != nil {
-				return nil, fmt.Errorf("search: composing candidate: %w", err)
-			}
-			cres, err := inc.Update(lay)
-			if err != nil {
-				return nil, fmt.Errorf("search: analysing candidate: %w", err)
-			}
-			res.Evals++
-			reg.Counter("search.evals").Inc()
-			obj := objectiveOf(cres)
-			if !obj.better(curObj) {
-				if err := inc.Revert(); err != nil {
-					return nil, fmt.Errorf("search: reverting rejected candidate: %w", err)
+		// Clone every extra engine before any worker starts moving the
+		// base engine; worker w then races climbs w, w+W, w+2W, ... —
+		// a static assignment, so which worker ran a climb can never
+		// change what the climb computes.
+		engines := make([]*analysis.Incremental, workers)
+		engines[0] = inc
+		for w := 1; w < workers; w++ {
+			engines[w] = inc.Clone()
+		}
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lane := reg.NewLane(fmt.Sprintf("search-worker-%d", w))
+			engines[w].SetLane(lane)
+			wg.Add(1)
+			go func(w int, eng *analysis.Incremental, lane obs.Lane) {
+				defer wg.Done()
+				span := reg.SpanOn(lane, "search/worker")
+				defer span.End()
+				for k := w; k < climbs; k += workers {
+					cr, err := p.climb(k, eng)
+					if err != nil {
+						errs[w] = fmt.Errorf("search: climb %d: %w", k, err)
+						return
+					}
+					results[k] = cr
 				}
-				continue
-			}
-			cur, curObj = cand, obj
-			res.Accepted++
-			reg.Counter("search.accepted").Inc()
-			if obj.better(bestObj) {
-				bestObj = obj
-				res.Order = globallayout.Order{Funcs: append([]ir.FuncID(nil), cand...)}
-				res.Layout = lay
-				res.Analysis = cres
-			}
-			if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 && res.Accepted%cfg.CheckpointEvery == 0 {
-				misses, err := cfg.Checkpoint(res.Layout)
-				if err != nil {
-					return nil, fmt.Errorf("search: ground-truth checkpoint: %w", err)
-				}
-				res.Checkpoints = append(res.Checkpoints, Checkpoint{
-					Eval: res.Evals, Upper: bestObj.upper, Misses: misses,
-				})
-				reg.Counter("search.checkpoints").Inc()
+			}(w, engines[w], lane)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
 			}
 		}
 	}
-	res.Improved = bestObj.better(initObj)
+
+	// Deterministic reduction: walk the climbs in index order, keep the
+	// strictly best objective. Strict comparison breaks ties toward the
+	// lowest climb index, so the winner is scheduling-independent.
+	best := initObj
+	res.Restarts = climbs - 1
+	for _, cr := range results {
+		res.Evals += cr.evals
+		res.Accepted += cr.accepted
+		res.Checkpoints = append(res.Checkpoints, cr.checkpoints...)
+		if cr.order != nil && cr.obj.better(best) {
+			best = cr.obj
+			res.Order = globallayout.Order{Funcs: cr.order}
+			res.Layout = cr.lay
+			res.Analysis = cr.res
+		}
+	}
+	res.Improved = best.better(initObj)
 	if res.Improved {
 		reg.Counter("search.improved").Inc()
 	}
 	return res, nil
+}
+
+// portfolio is the read-only state every climb shares.
+type portfolio struct {
+	in      Input
+	cfg     Config
+	n       int
+	baseLay *layout.Layout
+	initObj objective
+	alloc   []int // per-climb evaluation allowance
+	offset  []int // global eval count before each climb, for Checkpoint.Eval
+	ckpt    func(*layout.Layout) (uint64, error)
+}
+
+// climbResult is one climb's contribution to the reduction. order is
+// nil when the climb never beat the input order.
+type climbResult struct {
+	evals, accepted int
+	obj             objective
+	order           []ir.FuncID
+	lay             *layout.Layout
+	res             *analysis.Result
+	checkpoints     []Checkpoint
+}
+
+// climb runs climb k to its allowance on eng. The trajectory is a pure
+// function of (portfolio, k): the RNG stream is derived from the seed
+// and the climb index, and the walk starts from the input order (climb
+// 0 for free — eng must already sit at the input layout, which holds
+// for the base engine and every fresh clone — and later climbs via a
+// two-swap kick that costs one eval and repositions a reused engine).
+func (p *portfolio) climb(k int, eng *analysis.Incremental) (*climbResult, error) {
+	reg := p.cfg.Obs
+	rng := xrand.New(xrand.Seed(p.cfg.Seed, 0x5ea6c4, uint64(k)))
+	cr := &climbResult{obj: p.initObj}
+	cur := append([]ir.FuncID(nil), p.in.Global.Funcs...)
+	curObj := p.initObj
+	if k > 0 {
+		reg.Counter("search.restarts").Inc()
+		for s := 0; s < 2; s++ {
+			i, j := rng.Intn(p.n), rng.Intn(p.n)
+			cur[i], cur[j] = cur[j], cur[i]
+		}
+		lay, err := Compose(p.in.Prog, p.in.Orders, globallayout.Order{Funcs: cur}, p.in.SplitCold)
+		if err != nil {
+			return nil, fmt.Errorf("composing restart order: %w", err)
+		}
+		kicked, err := eng.Update(lay)
+		if err != nil {
+			return nil, fmt.Errorf("analysing restart order: %w", err)
+		}
+		cr.evals++
+		curObj = objectiveOf(kicked)
+	}
+	for cr.evals < p.alloc[k] {
+		cand := propose(cur, eng.Result().Conflicts.Pairs, rng)
+		lay, err := Compose(p.in.Prog, p.in.Orders, globallayout.Order{Funcs: cand}, p.in.SplitCold)
+		if err != nil {
+			return nil, fmt.Errorf("composing candidate: %w", err)
+		}
+		cres, err := eng.Update(lay)
+		if err != nil {
+			return nil, fmt.Errorf("analysing candidate: %w", err)
+		}
+		cr.evals++
+		reg.Counter("search.evals").Inc()
+		obj := objectiveOf(cres)
+		if !obj.better(curObj) {
+			if err := eng.Revert(); err != nil {
+				return nil, fmt.Errorf("reverting rejected candidate: %w", err)
+			}
+			continue
+		}
+		cur, curObj = cand, obj
+		cr.accepted++
+		reg.Counter("search.accepted").Inc()
+		if obj.better(cr.obj) {
+			cr.obj = obj
+			cr.order = append([]ir.FuncID(nil), cand...)
+			cr.lay = lay
+			cr.res = cres
+		}
+		if p.ckpt != nil && p.cfg.CheckpointEvery > 0 && cr.accepted%p.cfg.CheckpointEvery == 0 {
+			incumbent := cr.lay
+			if incumbent == nil {
+				incumbent = p.baseLay
+			}
+			misses, err := p.ckpt(incumbent)
+			if err != nil {
+				return nil, fmt.Errorf("ground-truth checkpoint: %w", err)
+			}
+			cr.checkpoints = append(cr.checkpoints, Checkpoint{
+				Eval: p.offset[k] + cr.evals, Upper: cr.obj.upper, Misses: misses,
+			})
+			reg.Counter("search.checkpoints").Inc()
+		}
+	}
+	return cr, nil
 }
 
 // propose returns a mutated copy of cur. Half the moves (when the

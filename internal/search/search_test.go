@@ -2,6 +2,7 @@ package search_test
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"impact/internal/analysis"
@@ -205,4 +206,125 @@ func TestSearchStage(t *testing.T) {
 	if w.DynInstrs == 0 {
 		t.Fatal("searched program executed nothing")
 	}
+}
+
+// pureCheckpoint is a ground-truth callback whose value depends only
+// on the layout it is handed — never on call order — so serial and
+// portfolio runs must record identical Checkpoints.
+func pureCheckpoint(lay *layout.Layout) (uint64, error) {
+	return uint64(lay.Total), nil
+}
+
+// TestOptimizeWorkersBitIdentical: the portfolio reduction makes the
+// worker count invisible — every Workers value yields the serial
+// result bit for bit: same order, same layout, same eval/accept
+// accounting, same checkpoints, same analysis (modulo the fixpoint
+// iteration diagnostic, which is path-dependent by design).
+func TestOptimizeWorkersBitIdentical(t *testing.T) {
+	_, in := prepared(t, 11)
+	base := search.Config{
+		Cache: tightGeom, Seed: 7, Budget: 60, Restarts: 4,
+		CheckpointEvery: 2, Checkpoint: pureCheckpoint,
+	}
+	serial := base
+	serial.Workers = 1
+	want, err := search.Optimize(in, serial)
+	if err != nil {
+		t.Fatalf("Optimize(workers=1): %v", err)
+	}
+	for _, w := range []int{2, 3, 5, 8} { // 8 > climbs exercises the cap
+		cfg := base
+		cfg.Workers = w
+		got, err := search.Optimize(in, cfg)
+		if err != nil {
+			t.Fatalf("Optimize(workers=%d): %v", w, err)
+		}
+		if !reflect.DeepEqual(want.Order, got.Order) {
+			t.Fatalf("workers=%d picked a different order:\n serial=%v\n got=%v", w, want.Order.Funcs, got.Order.Funcs)
+		}
+		if !reflect.DeepEqual(want.Layout, got.Layout) {
+			t.Fatalf("workers=%d produced a different layout", w)
+		}
+		if want.Evals != got.Evals || want.Accepted != got.Accepted ||
+			want.Restarts != got.Restarts || want.Improved != got.Improved {
+			t.Fatalf("workers=%d trajectory differs: serial {E:%d A:%d R:%d I:%v} vs {E:%d A:%d R:%d I:%v}",
+				w, want.Evals, want.Accepted, want.Restarts, want.Improved,
+				got.Evals, got.Accepted, got.Restarts, got.Improved)
+		}
+		if !reflect.DeepEqual(want.Checkpoints, got.Checkpoints) {
+			t.Fatalf("workers=%d checkpoints differ:\n serial=%+v\n got=%+v", w, want.Checkpoints, got.Checkpoints)
+		}
+		ga, wa := *got.Analysis, *want.Analysis
+		ga.Iterations, wa.Iterations = 0, 0
+		if !reflect.DeepEqual(ga, wa) {
+			t.Fatalf("workers=%d analysis differs from serial", w)
+		}
+	}
+}
+
+// TestOptimizeParallelStress runs several portfolio searches
+// concurrently; its value is under `go test -race`, pinning the worker
+// pool's memory discipline (cloned engines, serialized checkpoints).
+func TestOptimizeParallelStress(t *testing.T) {
+	_, in := prepared(t, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := search.Optimize(in, search.Config{
+				Cache: tightGeom, Seed: uint64(i), Budget: 24, Restarts: 3,
+				Workers: 2 + i, CheckpointEvery: 1, Checkpoint: pureCheckpoint,
+			})
+			if err != nil {
+				t.Errorf("Optimize: %v", err)
+				return
+			}
+			if res.Evals == 0 {
+				t.Error("portfolio search evaluated nothing")
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// FuzzSearchWorkers varies seed, budget, restart and worker counts
+// against the serial referee: any (budget, restarts) split must make
+// the worker count invisible in the result.
+func FuzzSearchWorkers(f *testing.F) {
+	f.Add(uint64(1), uint8(16), uint8(2), uint8(3))
+	f.Add(uint64(9), uint8(40), uint8(4), uint8(6))
+	var (
+		once sync.Once
+		in   search.Input
+	)
+	f.Fuzz(func(t *testing.T, seed uint64, budget, restarts, workers uint8) {
+		once.Do(func() { _, in = prepared(t, 3) })
+		if in.Prog == nil {
+			t.Skip("workload preparation failed")
+		}
+		base := search.Config{
+			Cache: tightGeom, Seed: seed,
+			Budget:   int(budget%48) + 2,
+			Restarts: int(restarts % 5),
+		}
+		serial := base
+		serial.Workers = 1
+		want, err := search.Optimize(in, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.Workers = int(workers%7) + 2
+		got, err := search.Optimize(in, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Order, got.Order) ||
+			want.Evals != got.Evals || want.Accepted != got.Accepted ||
+			want.Improved != got.Improved {
+			t.Fatalf("workers=%d diverged from serial (seed %d budget %d restarts %d)",
+				cfg.Workers, seed, base.Budget, base.Restarts)
+		}
+	})
 }

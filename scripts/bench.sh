@@ -36,7 +36,8 @@
 # pair (static analyzer priced against the trace-driven simulator), and
 # the streaming pair (BenchmarkStreamSimulate: generate-and-simulate
 # with no materialized trace; BenchmarkShardSimulate: the set-sharded
-# simulator).
+# simulator), and the multi-core pair (BenchmarkStackPassSharded: the
+# banded stack pass; BenchmarkSearchParallel: the portfolio search).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,7 +69,7 @@ fi
 
 SCALE="${IMPACT_BENCH_SCALE:-0.25}"
 BENCHTIME="${BENCHTIME:-3x}"
-PATTERN="${1:-^Benchmark(Table|Analyze|Stream|Shard)}"
+PATTERN="${1:-^Benchmark(Table|Analyze|Stream|Shard|Stack|Search)}"
 if [ "$MODE" = compare ]; then
     OUT="$(mktemp /tmp/bench.XXXXXX.json)"
 else
