@@ -32,6 +32,7 @@ import (
 	"impact/internal/experiments"
 	"impact/internal/ir"
 	"impact/internal/layout"
+	"impact/internal/paging"
 	"impact/internal/profile"
 	"impact/internal/search"
 )
@@ -366,7 +367,7 @@ func BenchmarkExtPaging(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.ExtPaging(s)
+		rows, err = experiments.ExtPaging(s, experiments.ExtPagingConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -575,6 +576,41 @@ func BenchmarkAnalyzeStatic(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(lower)/1e6, "lowerM")
 	b.ReportMetric(float64(upper)/1e6, "upperM")
+}
+
+// BenchmarkAnalyzePages times the page-level analysis over every
+// benchmark's optimized layout at the default 4KB/8-frame paging
+// geometry: the page-fault bounds and conflict report computed from
+// the IR, profile, and addresses alone. The page-frame abstraction has
+// one set, so this is the cheap end of the analyzer family — and the
+// page term's cost in the combined search objective.
+func BenchmarkAnalyzePages(b *testing.B) {
+	s := benchSuite(b)
+	pcfg := paging.Config{PageBytes: 4096, Frames: 8}
+	weights := make([]*profile.Weights, len(s.Items))
+	for i, p := range s.Items {
+		w, err := p.EvalWeights()
+		if err != nil {
+			b.Fatal(err)
+		}
+		weights[i] = w
+	}
+	b.ResetTimer()
+	var lower, upper uint64
+	for i := 0; i < b.N; i++ {
+		lower, upper = 0, 0
+		for j, p := range s.Items {
+			res, err := analysis.AnalyzePages(p.Opt.Layout, weights[j], analysis.PageConfig{Paging: pcfg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lower += res.Bounds.Lower
+			upper += res.Bounds.Upper
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lower)/1e3, "lowerK")
+	b.ReportMetric(float64(upper)/1e3, "upperK")
 }
 
 // BenchmarkAnalyzeIncremental times the incremental re-analyzer on

@@ -6,6 +6,7 @@
 //
 //	icexp [-scale 1.0] [-tables 1,2,3,...] [-ablations] [-extensions]
 //	      [-analyze] [-search] [-report] [-check off|warn|strict]
+//	      [-page-bytes 4096] [-frames 8]
 //	      [-workers N] [-v] [-metrics-out m.json] [-trace-out t.json]
 //	      [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
@@ -16,12 +17,16 @@
 // invariant violation. -analyze runs the static cache-behavior
 // analyzer (see docs/ANALYSIS.md) over every benchmark and geometry
 // and prints its must/may miss bounds next to the simulator's
-// measurements; under -check strict a bound violated by a measured
-// miss count fails the run. -search runs the conflict-driven layout
-// search against the greedy pipeline at the Table-1 512B direct-mapped
-// geometry and prints the simulator-priced comparison (see
-// docs/SEARCH.md). The observability flags are shared by all commands;
-// see docs/OBSERVABILITY.md.
+// measurements — both the cache-line analysis and the page-level
+// analysis (page-fault bounds vs. the demand-paging simulator); under
+// -check strict a bound violated by a measured miss or fault count
+// fails the run. -search runs the conflict-driven layout search
+// against the greedy pipeline at the Table-1 512B direct-mapped
+// geometry, with the page-fault term of the combined objective at the
+// -page-bytes/-frames geometry, and prints the simulator-priced
+// comparison (see docs/SEARCH.md). -page-bytes and -frames also set
+// the E2 extension's paging geometry. The observability flags are
+// shared by all commands; see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -48,6 +53,7 @@ func main() {
 	searchFlag := flag.Bool("search", false, "also run the conflict-driven layout search against the greedy pipeline")
 	report := flag.Bool("report", false, "also print each benchmark's per-stage locality ledger")
 	checkMode := flag.String("check", "off", "pipeline verification mode: off, warn, or strict")
+	pageFlags := cliutil.AddPagingFlags(flag.CommandLine)
 	workers := cliutil.AddWorkersFlag(flag.CommandLine)
 	common := cliutil.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -205,11 +211,11 @@ func main() {
 			return experiments.RenderExtTiming(e), nil
 		})
 		emit("ext-paging", func() (string, error) {
-			e, err := experiments.ExtPaging(suite)
+			e, err := experiments.ExtPaging(suite, pageFlags.Config())
 			if err != nil {
 				return "", err
 			}
-			return experiments.RenderExtPaging(e), nil
+			return experiments.RenderExtPaging(pageFlags.Config(), e), nil
 		})
 		emit("ext-prefetch", func() (string, error) {
 			e, err := experiments.ExtPrefetch(suite)
@@ -251,17 +257,30 @@ func main() {
 			}
 			return experiments.RenderBoundCheck(suite, rows), nil
 		})
+		emit("analyze-pages", func() (string, error) {
+			rows, err := experiments.PageBoundCheck(suite)
+			if err != nil {
+				return "", err
+			}
+			if mode == check.Strict {
+				if err := experiments.PageBoundErr(rows); err != nil {
+					return "", err
+				}
+			}
+			return experiments.RenderPageBoundCheck(suite, rows), nil
+		})
 	}
 	if *searchFlag {
 		emit("search", func() (string, error) {
 			geom := cache.Config{SizeBytes: 512, BlockBytes: 64, Assoc: 1}
+			pcfg := pageFlags.Config()
 			rows, err := experiments.SearchCompare(suite, geom, search.Config{
-				Seed: 1, Workers: *workers, Obs: common.Registry,
+				Seed: 1, Workers: *workers, Obs: common.Registry, Paging: &pcfg,
 			})
 			if err != nil {
 				return "", err
 			}
-			return experiments.RenderSearchCompare(geom, rows), nil
+			return experiments.RenderSearchCompare(geom, &pcfg, rows), nil
 		})
 	}
 	run := common.Registry.Counter("sweep.sims_run").Value()

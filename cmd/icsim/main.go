@@ -6,7 +6,8 @@
 //	icsim -trace prog.itr [-size 2048] [-block 64] [-assoc 1]
 //	      [-sizes 512,1024,...] [-sector 0] [-partial]
 //	      [-replacement lru|fifo|random] [-prefetch] [-latency 0]
-//	      [-cwf=true] [-workers N]
+//	      [-cwf=true] [-paging] [-page-bytes 4096] [-frames 8]
+//	      [-workers N]
 //	      [-v] [-metrics-out m.json] [-cpuprofile f] [-memprofile f]
 //
 // It prints the miss ratio, memory traffic ratio, and (for partial
@@ -16,6 +17,10 @@
 // time are reported; -cwf=false disables critical-word-first load
 // forwarding. -prefetch adds next-block prefetch-on-miss (whole-block
 // fill only) and reports prefetch accuracy.
+//
+// -paging additionally tees the same streaming pass into the LRU
+// demand-paging simulator at the -page-bytes/-frames geometry and
+// reports page faults and the touched-page footprint.
 //
 // The trace is never materialized: runs stream from the file straight
 // into the simulator (memtrace.Reader), so memory stays constant
@@ -39,6 +44,7 @@ import (
 	"impact/internal/cache/sweep"
 	"impact/internal/cliutil"
 	"impact/internal/memtrace"
+	"impact/internal/paging"
 	"impact/internal/texttable"
 )
 
@@ -49,6 +55,8 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "prefetch the next sequential block on every demand miss")
 	latency := flag.Int("latency", 0, "memory initial access latency in cycles (0 = timing model off)")
 	cwf := flag.Bool("cwf", true, "critical-word-first load forwarding (timing model)")
+	usePaging := flag.Bool("paging", false, "also stream the trace through the LRU demand-paging simulator")
+	pf := cliutil.AddPagingFlags(flag.CommandLine)
 	workers := cliutil.AddWorkersFlag(flag.CommandLine)
 	common := cliutil.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -85,10 +93,26 @@ func main() {
 		fatal(err)
 	}
 	var count memtrace.RunCount
+	var pager *paging.Simulator
+	if *usePaging {
+		pager, err = paging.NewSimulator(pf.Config())
+		if err != nil {
+			fatal(err)
+		}
+	}
+	// tee fans the cache sink out to the run counter and, when -paging
+	// is set, the demand-paging simulator — still one streaming pass.
+	tee := func(s memtrace.Sink) memtrace.Sink {
+		if pager != nil {
+			return memtrace.Tee(s, &count, pager)
+		}
+		return memtrace.Tee(s, &count)
+	}
 	if sizeList != nil {
 		sp := common.Registry.Span("icsim/sweep")
 		sp.SetAttrInt("sizes", int64(len(sizeList)))
-		sweepSizes(cfg, rd, &count, sizeList, *tracePath)
+		sweepSizes(cfg, rd, &count, sizeList, *tracePath, tee)
+		printPaging(pager)
 		sp.End()
 		common.MustClose()
 		return
@@ -110,7 +134,7 @@ func main() {
 			sp.End()
 			fatal(err)
 		}
-		if err := rd.Replay(memtrace.Tee(z, &count)); err != nil {
+		if err := rd.Replay(tee(z)); err != nil {
 			sp.End()
 			fatal(err)
 		}
@@ -124,7 +148,7 @@ func main() {
 			sp.End()
 			fatal(err)
 		}
-		if err := rd.Replay(memtrace.Tee(sim, &count)); err != nil {
+		if err := rd.Replay(tee(sim)); err != nil {
 			sp.End()
 			fatal(err)
 		}
@@ -152,20 +176,31 @@ func main() {
 		fmt.Printf("cycles:       %d\n", stats.Cycles())
 		fmt.Printf("eff. access:  %.3f cycles/fetch\n", stats.EffectiveAccessTime())
 	}
+	printPaging(pager)
 	common.MustClose()
+}
+
+// printPaging reports the teed demand-paging simulation, if one ran.
+func printPaging(pager *paging.Simulator) {
+	if pager == nil {
+		return
+	}
+	st := pager.Stats()
+	fmt.Printf("paging:   %d faults (%.1f per M fetches), %d pages touched\n",
+		st.Faults, st.FaultRate(), st.PagesTouched)
 }
 
 // sweepSizes runs the -sizes size sweep in one streaming pass over the
 // file: a stack pass for fully associative whole-block organisations,
 // a fan-out replay into every size otherwise.
-func sweepSizes(template cache.Config, rd *memtrace.Reader, count *memtrace.RunCount, sizeList []int, tracePath string) {
+func sweepSizes(template cache.Config, rd *memtrace.Reader, count *memtrace.RunCount, sizeList []int, tracePath string, tee func(memtrace.Sink) memtrace.Sink) {
 	z, cfgs, err := sweep.NewSizeStream(template, sizeList)
 	if err != nil {
 		fatal(err)
 	}
 	var stats []cache.Stats
 	if z != nil {
-		if err := rd.Replay(memtrace.Tee(z, count)); err != nil {
+		if err := rd.Replay(tee(z)); err != nil {
 			fatal(err)
 		}
 		if stats, err = z.Results(); err != nil {
@@ -176,7 +211,7 @@ func sweepSizes(template cache.Config, rd *memtrace.Reader, count *memtrace.RunC
 		if err != nil {
 			fatal(err)
 		}
-		if err := rd.Replay(memtrace.Tee(sim, count)); err != nil {
+		if err := rd.Replay(tee(sim)); err != nil {
 			fatal(err)
 		}
 		stats = sim.Stats()

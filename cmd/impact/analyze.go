@@ -10,6 +10,7 @@ import (
 	"impact/internal/analysis"
 	"impact/internal/cache"
 	"impact/internal/cliutil"
+	"impact/internal/paging"
 	"impact/internal/profile"
 	"impact/internal/texttable"
 )
@@ -27,6 +28,24 @@ type analyzeJSON struct {
 	EffectiveBytes int                 `json:"effective_bytes"`
 	TotalBytes     int                 `json:"total_bytes"`
 	Results        []analyzeJSONResult `json:"results"`
+	// Pages holds the page-level analysis when -pages was given.
+	Pages *pagesJSONResult `json:"pages,omitempty"`
+}
+
+type pagesJSONResult struct {
+	*analysis.PageResult
+	// Measured holds the simulated fault count when -measure was given.
+	Measured *pageMeasuredJSON `json:"measured,omitempty"`
+}
+
+type pageMeasuredJSON struct {
+	Faults       uint64 `json:"faults"`
+	Accesses     uint64 `json:"accesses"`
+	PagesTouched int    `json:"pages_touched"`
+	// InBounds reports the fault bracket and footprint check (only
+	// meaningful when the bounds are exact).
+	InBounds bool `json:"in_bounds"`
+	Exact    bool `json:"exact"`
 }
 
 type analyzeJSONResult struct {
@@ -47,15 +66,20 @@ type measuredJSON struct {
 // cmdAnalyze runs the static cache-behavior analyzer on a benchmark's
 // laid-out program: layout-quality score, hot set conflicts, and
 // must/may miss bounds — computed from the IR, the profile, and the
-// addresses alone, with no trace decoded. With -measure it
-// additionally simulates the evaluation trace and reports the
-// measured misses next to the bounds (which must bracket them). With
-// -json the whole report is emitted as one JSON object on stdout.
+// addresses alone, with no trace decoded. With -pages it additionally
+// runs the page-level analysis at the -page-bytes/-frames geometry:
+// page-fault bounds, footprint, and the ranked page-pressure report.
+// With -measure it additionally simulates the evaluation trace and
+// reports the measured misses (and faults) next to the bounds (which
+// must bracket them). With -json the whole report is emitted as one
+// JSON object on stdout.
 func cmdAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	name, scale := benchFlag(fs)
 	strategy := fs.String("strategy", "full", "placement strategy")
 	cf := cliutil.AddCacheFlags(fs)
+	pages := fs.Bool("pages", false, "also run the page-level analysis (page-fault bounds and pressure report)")
+	pf := cliutil.AddPagingFlags(fs)
 	topSets := fs.Int("top-sets", 8, "pressured cache sets to report")
 	topPairs := fs.Int("top-pairs", 8, "conflicting function pairs to report")
 	topFuncs := fs.Int("top-funcs", 10, "per-function bound rows to report")
@@ -148,6 +172,50 @@ func cmdAnalyze(args []string) {
 		rep.Results = append(rep.Results, jr)
 	}
 
+	if *pages {
+		pres, err := analysis.AnalyzePages(res.Layout, w, analysis.PageConfig{
+			Paging:   pf.Config(),
+			TopPages: *topSets, TopPairs: *topPairs,
+			Obs: common.Registry,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		pj := &pagesJSONResult{PageResult: pres}
+		if !*jsonOut {
+			printPages(b.Name(), pres)
+		}
+		if *measure {
+			tr, _, err := res.EvalTrace(b.EvalSeed, b.EvalConfig())
+			if err != nil {
+				fatal(err)
+			}
+			st, err := paging.Simulate(pres.Paging, tr)
+			if err != nil {
+				fatal(err)
+			}
+			in := st.Faults >= pres.Bounds.Lower && st.Faults <= pres.Bounds.Upper &&
+				st.PagesTouched == pres.Report.ExecPages
+			exact := pres.Bounds.Exact && runs[0].Completed
+			pj.Measured = &pageMeasuredJSON{
+				Faults: st.Faults, Accesses: st.Accesses, PagesTouched: st.PagesTouched,
+				InBounds: in, Exact: exact,
+			}
+			if !*jsonOut {
+				verdict := "within bounds"
+				if !in {
+					verdict = "OUTSIDE BOUNDS"
+				}
+				if !exact {
+					verdict = "bounds inexact (capped run)"
+				}
+				fmt.Printf("measured: %d faults, %d pages touched — %s\n\n",
+					st.Faults, st.PagesTouched, verdict)
+			}
+		}
+		rep.Pages = pj
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -209,6 +277,58 @@ func printAnalysis(name string, ares *analysis.Result) {
 		}
 	} else {
 		fmt.Println("no overflowing cache sets (no predicted conflict misses)")
+	}
+	fmt.Println()
+}
+
+// printPages renders the page-level analysis: footprint summary, fault
+// bounds, the hottest pages, straddling functions, and thrash pairs.
+func printPages(name string, res *analysis.PageResult) {
+	b := res.Bounds
+	rep := res.Report
+	fmt.Printf("%s on %s: %d regions, %d fixpoint iterations\n",
+		name, res.Paging, res.Regions, res.Iterations)
+	fmt.Printf("pages: %d code, %d executed, %d hot (90%% of fetches), %dB never executed on touched pages\n",
+		rep.CodePages, rep.ExecPages, rep.HotPages, rep.WasteBytes)
+	fmt.Printf("fault bounds: [%d, %d] of %d fetches", b.Lower, b.Upper, b.Accesses)
+	if !b.Exact {
+		fmt.Printf(" (inexact: aggregated over %d runs)", b.Runs)
+	}
+	fmt.Println()
+
+	if len(rep.TopPages) > 0 {
+		t := texttable.New("Hottest pages", "page", "fetches", "bytes used", "functions")
+		for _, pg := range rep.TopPages {
+			funcs := ""
+			for i, s := range pg.Funcs {
+				if i > 0 {
+					funcs += ", "
+				}
+				funcs += s.FuncName
+			}
+			t.Row(fmt.Sprintf("0x%08x", pg.Addr), pg.Fetches, pg.Bytes, funcs)
+		}
+		fmt.Print(t.String())
+	}
+	if len(rep.Straddles) > 0 {
+		t := texttable.New("Page-straddling functions", "function", "pages", "fetches")
+		for _, s := range rep.Straddles {
+			t.Row(s.Name, s.Pages, s.Fetches)
+		}
+		fmt.Print(t.String())
+	}
+	if rep.ThrashScopes > 0 {
+		fmt.Printf("%d thrashing scopes (loop page footprint exceeds %d frames)\n",
+			rep.ThrashScopes, res.Paging.Frames)
+		if len(rep.Pairs) > 0 {
+			t := texttable.New("Thrashing function pairs", "pair", "contended weight")
+			for _, pr := range rep.Pairs {
+				t.Row(pr.AName+" / "+pr.BName, pr.Fetches)
+			}
+			fmt.Print(t.String())
+		}
+	} else {
+		fmt.Println("no thrashing scopes (every loop's page footprint fits the frames)")
 	}
 	fmt.Println()
 }

@@ -70,6 +70,7 @@ import (
 	"impact/internal/layout"
 	"impact/internal/memtrace"
 	"impact/internal/obs"
+	"impact/internal/paging"
 	"impact/internal/profile"
 	"impact/internal/texttable"
 	"impact/internal/workload"
@@ -327,6 +328,8 @@ func cmdSimulate(args []string) {
 	name, scale := benchFlag(fs)
 	cf := cliutil.AddCacheFlags(fs)
 	layoutSel := fs.String("layout", "both", "layouts to simulate: both, opt, or nat (a lone layout may set-shard across idle cores)")
+	usePaging := fs.Bool("paging", false, "also run the LRU demand-paging simulator on each layout")
+	pf := cliutil.AddPagingFlags(fs)
 	workers := cliutil.AddWorkersFlag(fs)
 	common := startCommon(fs, args)
 	defer common.MustClose()
@@ -425,6 +428,23 @@ func cmdSimulate(args []string) {
 		t.Row(r.label, texttable.Pct3(st.MissRatio()), texttable.Pct(st.TrafficRatio()), st.Misses, st.Accesses)
 	}
 	fmt.Print(t.String())
+
+	if *usePaging {
+		pcfg := pf.Config()
+		if err := pcfg.Validate(); err != nil {
+			fatal(err)
+		}
+		pt := texttable.New(fmt.Sprintf("%s paging (%s)", b.Name(), pcfg),
+			"layout", "faults", "faults/M", "pages touched")
+		for _, r := range runs {
+			st, err := paging.Simulate(pcfg, r.tr)
+			if err != nil {
+				fatal(err)
+			}
+			pt.Row(r.label, st.Faults, fmt.Sprintf("%.1f", st.FaultRate()), st.PagesTouched)
+		}
+		fmt.Print(pt.String())
+	}
 }
 
 // cmdCheck runs the placement pipeline with the internal/check

@@ -8,6 +8,7 @@ import (
 
 	"impact/internal/cliutil"
 	"impact/internal/experiments"
+	"impact/internal/paging"
 	"impact/internal/search"
 )
 
@@ -18,6 +19,9 @@ import (
 // set-pressure conflicts, scored by the incremental analyzer, with
 // periodic simulator checkpoints; every emitted layout passes the
 // strict layout analyzers before it is priced (see docs/SEARCH.md).
+// With -paging the objective gains a page-fault upper-bound term at
+// the -page-bytes/-frames geometry, ranked lexicographically after
+// the miss bound so it can never trade cache misses for page faults.
 func cmdSearch(args []string) {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	scale := fs.Float64("scale", 1.0, "dynamic trace length multiplier")
@@ -27,6 +31,8 @@ func cmdSearch(args []string) {
 	restarts := fs.Int("restarts", search.DefaultRestarts, "independent restarts")
 	workers := cliutil.AddWorkersFlag(fs)
 	cf := cliutil.AddCacheFlags(fs)
+	usePaging := fs.Bool("paging", false, "add the page-fault term to the search objective (ranked after the miss bound)")
+	pf := cliutil.AddPagingFlags(fs)
 	common := startCommon(fs, args)
 	defer common.MustClose()
 	experiments.Configure(experiments.EngineConfig{Workers: *workers})
@@ -57,13 +63,23 @@ func cmdSearch(args []string) {
 		suite.Items = kept
 	}
 
-	rows, err := experiments.SearchCompare(suite, ccfg, search.Config{
+	scfg := search.Config{
 		Seed: *seed, Budget: *budget, Restarts: *restarts,
 		Workers: *workers, Obs: common.Registry,
-	})
+	}
+	var pcfg *paging.Config
+	if *usePaging {
+		c := pf.Config()
+		if err := c.Validate(); err != nil {
+			fatal(err)
+		}
+		pcfg = &c
+		scfg.Paging = pcfg
+	}
+	rows, err := experiments.SearchCompare(suite, ccfg, scfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(experiments.RenderSearchCompare(ccfg, rows))
+	fmt.Print(experiments.RenderSearchCompare(ccfg, pcfg, rows))
 	fmt.Printf("total time %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -267,6 +267,10 @@ type Unit struct {
 	// Analysis is the static cache-behavior analysis of Layout
 	// (bounds consistency).
 	Analysis *analysis.Result
+
+	// Pages is the static page-level analysis of Layout (page-fault
+	// bound consistency).
+	Pages *analysis.PageResult
 }
 
 // funcName resolves a FuncID to its name for diagnostics.
@@ -294,6 +298,8 @@ const (
 	StageSearch = "search"
 	// StageAnalysis checks the static cache-behavior analysis.
 	StageAnalysis = "analysis"
+	// StagePaging checks the static page-level analysis.
+	StagePaging = "paging"
 )
 
 // Analyzer is one named pass over a Unit.
@@ -321,6 +327,7 @@ func All() []*Analyzer {
 		funcLayoutAnalyzer(),
 		globalLayoutAnalyzer(),
 		boundsAnalyzer(),
+		pageBoundsAnalyzer(),
 	}
 }
 
@@ -352,6 +359,8 @@ func ForStage(stage string) []*Analyzer {
 		return pick("funclayout", "globallayout")
 	case StageAnalysis:
 		return pick("bounds")
+	case StagePaging:
+		return pick("pagebounds")
 	}
 	return nil
 }

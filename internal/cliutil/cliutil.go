@@ -25,6 +25,7 @@ import (
 
 	"impact/internal/cache"
 	"impact/internal/obs"
+	"impact/internal/paging"
 )
 
 // Common holds the flag values and runtime state shared by all
@@ -227,4 +228,27 @@ func (c *CacheFlags) SizeList() ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// PagingFlags holds the page-geometry flags shared by every command
+// that parameterises instruction paging (icsim, impact
+// simulate/analyze/search, icexp), mirroring CacheFlags: one
+// definition, one set of defaults, one help text.
+type PagingFlags struct {
+	PageBytes int
+	Frames    int
+}
+
+// AddPagingFlags registers the shared page-geometry flags on fs (4KB
+// pages, 8 resident frames).
+func AddPagingFlags(fs *flag.FlagSet) *PagingFlags {
+	p := &PagingFlags{}
+	fs.IntVar(&p.PageBytes, "page-bytes", 4096, "page size in bytes (power of two >= 64)")
+	fs.IntVar(&p.Frames, "frames", 8, "resident page frames (0 = unbounded memory)")
+	return p
+}
+
+// Config returns the paging configuration the flags describe.
+func (p *PagingFlags) Config() paging.Config {
+	return paging.Config{PageBytes: p.PageBytes, Frames: p.Frames}
 }

@@ -91,6 +91,11 @@ type Config struct {
 	// static miss upper bound. The searched layout is re-verified
 	// under Config.Check (check.StageSearch). Nil skips the search.
 	Search *search.Config
+	// Pages, when non-nil, runs the static page-level analyzer
+	// (analysis.AnalyzePages) on the final layout and stores the
+	// result in Result.Pages; its internal consistency is verified
+	// under Config.Check (check.StagePaging). Nil skips the analysis.
+	Pages *analysis.PageConfig
 	// Obs, when non-nil, receives per-stage spans (pipeline/profile,
 	// pipeline/inline, pipeline/traceselect, pipeline/funclayout,
 	// pipeline/globallayout, pipeline/compose) and work counters; nil
@@ -158,6 +163,10 @@ type Result struct {
 	// Config.Search was set). When Search.Improved, GlobalOrder and
 	// Layout already reflect the searched order.
 	Search *search.Result
+
+	// Pages holds the static page-level analysis of the final layout
+	// (nil unless Config.Pages was set).
+	Pages *analysis.PageResult
 
 	// Ledger holds the per-stage locality ledger (nil unless
 	// Config.Ledger was set).
@@ -453,6 +462,29 @@ func Optimize(p *ir.Program, cfg Config) (*Result, error) {
 		if err := verify(&check.Unit{
 			Stage: check.StageAnalysis, Prog: prog, Weights: w,
 			Layout: res.Layout, Analysis: res.Analysis,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Optional stage: static page-level analysis of the layout.
+	if cfg.Pages != nil {
+		pcfg := *cfg.Pages
+		if pcfg.Obs == nil {
+			pcfg.Obs = cfg.Obs
+		}
+		if pcfg.Lane == 0 {
+			pcfg.Lane = cfg.Lane
+		}
+		sp = pipe.Span("pages")
+		res.Pages, err = analysis.AnalyzePages(res.Layout, w, pcfg)
+		sp.End()
+		if err != nil {
+			return nil, fmt.Errorf("core: static page analysis: %w", err)
+		}
+		if err := verify(&check.Unit{
+			Stage: check.StagePaging, Prog: prog, Weights: w,
+			Layout: res.Layout, Pages: res.Pages,
 		}); err != nil {
 			return nil, err
 		}

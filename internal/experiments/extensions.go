@@ -91,60 +91,71 @@ func RenderExtTiming(rows []TimingRow) string {
 // consequences: page footprint, cold faults, and the Denning working
 // set, for both layouts.
 
-// ExtPagingPageBytes is the modelled page size.
+// ExtPagingPageBytes is the default modelled page size.
 const ExtPagingPageBytes = 1024
 
 // ExtPagingWindow is the working-set window in instruction fetches.
 const ExtPagingWindow = 100_000
+
+// ExtPagingConfig is the default E2 paging geometry: ExtPagingPageBytes
+// pages with unbounded main memory, so faults are all cold.
+func ExtPagingConfig() paging.Config {
+	return paging.Config{PageBytes: ExtPagingPageBytes}
+}
 
 // PagingRow holds one benchmark's paging metrics for both layouts.
 type PagingRow struct {
 	Name string
 	// Pages is the number of distinct pages touched (footprint).
 	OptPages, NatPages int
+	// Faults is the LRU demand-paging fault count (with unbounded
+	// frames, equal to the footprint: cold faults only).
+	OptFaults, NatFaults uint64
 	// WS is the average working set in pages.
 	OptWS, NatWS float64
 }
 
-// ExtPaging measures instruction paging behaviour.
-func ExtPaging(s *Suite) ([]PagingRow, error) {
+// ExtPaging measures instruction paging behaviour under cfg.
+func ExtPaging(s *Suite, cfg paging.Config) ([]PagingRow, error) {
 	var out []PagingRow
 	for _, p := range s.Items {
-		so, err := paging.Simulate(paging.Config{PageBytes: ExtPagingPageBytes}, p.OptTrace)
+		so, err := paging.Simulate(cfg, p.OptTrace)
 		if err != nil {
 			return nil, err
 		}
-		sn, err := paging.Simulate(paging.Config{PageBytes: ExtPagingPageBytes}, p.NatTrace)
+		sn, err := paging.Simulate(cfg, p.NatTrace)
 		if err != nil {
 			return nil, err
 		}
-		wo, err := paging.WorkingSet(p.OptTrace, ExtPagingPageBytes, ExtPagingWindow)
+		wo, err := paging.WorkingSet(p.OptTrace, cfg.PageBytes, ExtPagingWindow)
 		if err != nil {
 			return nil, err
 		}
-		wn, err := paging.WorkingSet(p.NatTrace, ExtPagingPageBytes, ExtPagingWindow)
+		wn, err := paging.WorkingSet(p.NatTrace, cfg.PageBytes, ExtPagingWindow)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, PagingRow{
-			Name:     p.Name(),
-			OptPages: so.PagesTouched,
-			NatPages: sn.PagesTouched,
-			OptWS:    wo,
-			NatWS:    wn,
+			Name:      p.Name(),
+			OptPages:  so.PagesTouched,
+			NatPages:  sn.PagesTouched,
+			OptFaults: so.Faults,
+			NatFaults: sn.Faults,
+			OptWS:     wo,
+			NatWS:     wn,
 		})
 	}
 	return out, nil
 }
 
 // RenderExtPaging formats E2.
-func RenderExtPaging(rows []PagingRow) string {
+func RenderExtPaging(cfg paging.Config, rows []PagingRow) string {
 	t := texttable.New(
-		fmt.Sprintf("Extension E2. Instruction Paging (%dB pages, %d-fetch working-set window)",
-			ExtPagingPageBytes, ExtPagingWindow),
-		"name", "opt pages", "nat pages", "opt WS", "nat WS")
+		fmt.Sprintf("Extension E2. Instruction Paging (%s, %d-fetch working-set window)",
+			cfg, ExtPagingWindow),
+		"name", "opt pages", "nat pages", "opt faults", "nat faults", "opt WS", "nat WS")
 	for _, r := range rows {
-		t.Row(r.Name, r.OptPages, r.NatPages,
+		t.Row(r.Name, r.OptPages, r.NatPages, r.OptFaults, r.NatFaults,
 			fmt.Sprintf("%.1f", r.OptWS), fmt.Sprintf("%.1f", r.NatWS))
 	}
 	return t.String()

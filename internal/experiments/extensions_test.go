@@ -40,7 +40,7 @@ func TestExtTimingShape(t *testing.T) {
 
 func TestExtPagingShape(t *testing.T) {
 	s := testSuite(t)
-	rows, err := ExtPaging(s)
+	rows, err := ExtPaging(s, ExtPagingConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,14 +65,18 @@ func TestExtPagingShape(t *testing.T) {
 		if r.OptPages > r.NatPages {
 			worse++
 		}
-		if r.OptWS > r.NatWS+0.5 {
-			t.Errorf("%s: optimized working set %v above natural %v", r.Name, r.OptWS, r.NatWS)
+		// Same growth allowance as the footprint: short test-scale
+		// traces fit inside one working-set window, where the working
+		// set IS the footprint and inline expansion can swell it.
+		if r.OptWS > r.NatWS*growth+0.5 {
+			t.Errorf("%s: optimized working set %v above natural %v x growth %.2f",
+				r.Name, r.OptWS, r.NatWS, growth)
 		}
 	}
 	if better <= worse {
 		t.Errorf("optimized layout reduced the page footprint for %d benchmarks, increased it for %d", better, worse)
 	}
-	if out := RenderExtPaging(rows); !strings.Contains(out, "opt WS") {
+	if out := RenderExtPaging(ExtPagingConfig(), rows); !strings.Contains(out, "opt WS") {
 		t.Error("E2 rendering incomplete")
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"impact/internal/layout"
 	"impact/internal/memtrace"
 	"impact/internal/obs"
+	"impact/internal/paging"
 	"impact/internal/profile"
 	"impact/internal/workload"
 )
@@ -64,6 +65,11 @@ type Prepared struct {
 	// Analyze).
 	analyzedMu sync.Mutex
 	analyzed   map[cache.Config]*analyzedEntry
+
+	// pages memoizes static page-level analyses per paging geometry
+	// (see AnalyzePages).
+	pagesMu sync.Mutex
+	pages   map[paging.Config]*pageEntry
 }
 
 // derivedVariant is one memoized pipeline re-run.

@@ -7,6 +7,7 @@ import (
 	"impact/internal/check"
 	"impact/internal/core/traceselect"
 	"impact/internal/layout"
+	"impact/internal/paging"
 	"impact/internal/search"
 	"impact/internal/texttable"
 )
@@ -34,6 +35,12 @@ type SearchRow struct {
 	// its static objective; Won whether the simulator confirmed
 	// strictly fewer misses.
 	Improved, Won bool
+	// GreedyFaults / SearchFaults are the simulated page-fault counts
+	// of the greedy and adopted layouts, filled only when the search
+	// ran with a paging objective (cfg.Paging non-nil); PageWon
+	// reports simulator-confirmed strictly fewer faults.
+	GreedyFaults, SearchFaults uint64
+	PageWon                    bool
 }
 
 // SearchCompare runs the layout search on every prepared benchmark at
@@ -102,6 +109,7 @@ func SearchCompare(s *Suite, geom cache.Config, cfg search.Config) ([]SearchRow,
 		}
 		row.GreedyMiss = float64(greedySt.Misses) / float64(greedySt.Accesses)
 		searchMisses := greedySt.Misses
+		adopted := false
 		if res.Improved {
 			m, err := simulate(res.Layout)
 			if err != nil {
@@ -111,7 +119,70 @@ func SearchCompare(s *Suite, geom cache.Config, cfg search.Config) ([]SearchRow,
 			// layout only when it measures no worse than greedy.
 			if m <= greedySt.Misses {
 				searchMisses = m
+				adopted = true
 			}
+		}
+		if cfg.Paging != nil {
+			// Price both layouts' paging behaviour too. The climbs'
+			// adoption decision stays cache-first (the lexicographic
+			// objective's order); only the page-refined variant below
+			// can trade, and the simulator arbitrates the trade.
+			gp, err := paging.Simulate(*cfg.Paging, p.OptTrace)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.Name(), err)
+			}
+			row.GreedyFaults = gp.Faults
+			row.SearchFaults = gp.Faults
+			faultsOf := func(lay *layout.Layout) (uint64, error) {
+				sim, err := paging.NewSimulator(*cfg.Paging)
+				if err != nil {
+					return 0, err
+				}
+				if _, err := layout.Stream(lay, p.Bench.EvalSeed, p.Bench.EvalConfig(), sim); err != nil {
+					return 0, err
+				}
+				return sim.Stats().Faults, nil
+			}
+			if adopted {
+				f, err := faultsOf(res.Layout)
+				if err != nil {
+					return nil, fmt.Errorf("%s: paging searched layout: %w", p.Name(), err)
+				}
+				row.SearchFaults = f
+			}
+			// The page-refined variant packed the executed footprint
+			// into fewer static pages for a sliver of static cache
+			// headroom. Adopt it only when the simulator confirms the
+			// trade is free: measured misses still no worse than
+			// greedy, measured faults strictly below the layout chosen
+			// so far — enabling paging can improve the fault column
+			// but never costs the miss column its greedy baseline.
+			if ref := res.PageRefined; ref != nil {
+				rep := check.Run(&check.Unit{
+					Stage: check.StageSearch, Prog: p.Opt.Prog, Weights: p.Opt.Weights,
+					Traces: p.Opt.Traces, MinProb: traceselect.DefaultMinProb,
+					Orders: p.Opt.Orders, Global: &ref.Order,
+					Layout: ref.Layout, EffectiveBytes: p.Opt.EffectiveBytes,
+					TraceLayout: true, SplitCold: true,
+				}, check.ForStage(check.StageSearch), cfg.Obs)
+				if err := rep.Err(); err != nil {
+					return nil, fmt.Errorf("%s: page-refined layout failed verification: %w", p.Name(), err)
+				}
+				m, err := simulate(ref.Layout)
+				if err != nil {
+					return nil, fmt.Errorf("%s: simulating page-refined layout: %w", p.Name(), err)
+				}
+				f, err := faultsOf(ref.Layout)
+				if err != nil {
+					return nil, fmt.Errorf("%s: paging page-refined layout: %w", p.Name(), err)
+				}
+				if m <= greedySt.Misses && f < row.SearchFaults {
+					searchMisses = m
+					row.SearchFaults = f
+					row.SearchUpper = ref.Analysis.Bounds.Upper
+				}
+			}
+			row.PageWon = row.SearchFaults < row.GreedyFaults
 		}
 		row.SearchMiss = float64(searchMisses) / float64(greedySt.Accesses)
 		row.Won = searchMisses < greedySt.Misses
@@ -120,27 +191,45 @@ func SearchCompare(s *Suite, geom cache.Config, cfg search.Config) ([]SearchRow,
 	return rows, nil
 }
 
-// RenderSearchCompare formats the comparison as a text table.
-func RenderSearchCompare(geom cache.Config, rows []SearchRow) string {
-	tb := texttable.New(
-		fmt.Sprintf("Layout search vs greedy pipeline (%dB/%dB assoc=%d)",
-			geom.SizeBytes, geom.BlockBytes, geom.Assoc),
-		"benchmark", "greedy upper", "search upper", "greedy miss", "search miss", "evals", "kept", "won")
-	wins := 0
+// RenderSearchCompare formats the comparison as a text table. pcfg,
+// when non-nil, is the paging geometry the search priced; the table
+// then carries the page-fault columns.
+func RenderSearchCompare(geom cache.Config, pcfg *paging.Config, rows []SearchRow) string {
+	title := fmt.Sprintf("Layout search vs greedy pipeline (%dB/%dB assoc=%d)",
+		geom.SizeBytes, geom.BlockBytes, geom.Assoc)
+	headers := []string{"benchmark", "greedy upper", "search upper", "greedy miss", "search miss", "evals", "kept", "won"}
+	if pcfg != nil {
+		title = fmt.Sprintf("Layout search vs greedy pipeline (%dB/%dB assoc=%d, %s)",
+			geom.SizeBytes, geom.BlockBytes, geom.Assoc, *pcfg)
+		headers = append(headers, "greedy PF", "search PF")
+	}
+	tb := texttable.New(title, headers...)
+	wins, pageWins := 0, 0
 	for _, r := range rows {
 		won := ""
 		if r.Won {
 			won = "yes"
 			wins++
 		}
-		tb.Row(r.Name,
+		if r.PageWon {
+			pageWins++
+		}
+		cells := []any{r.Name,
 			fmt.Sprintf("%d", r.GreedyUpper),
 			fmt.Sprintf("%d", r.SearchUpper),
 			fmt.Sprintf("%.4f", r.GreedyMiss),
 			fmt.Sprintf("%.4f", r.SearchMiss),
 			fmt.Sprintf("%d", r.Evals),
 			fmt.Sprintf("%d", r.Accepted),
-			won)
+			won}
+		if pcfg != nil {
+			cells = append(cells, fmt.Sprintf("%d", r.GreedyFaults), fmt.Sprintf("%d", r.SearchFaults))
+		}
+		tb.Row(cells...)
 	}
-	return tb.String() + fmt.Sprintf("\nsearch wins on %d/%d benchmarks (simulator-confirmed)\n", wins, len(rows))
+	out := tb.String() + fmt.Sprintf("\nsearch wins on %d/%d benchmarks (simulator-confirmed)\n", wins, len(rows))
+	if pcfg != nil {
+		out += fmt.Sprintf("page faults reduced on %d/%d benchmarks\n", pageWins, len(rows))
+	}
+	return out
 }

@@ -45,7 +45,7 @@ func TestSearchCompareBeatsGreedy(t *testing.T) {
 		t.Errorf("search won on %d/%d benchmarks, want >= 3", wins, len(rows))
 	}
 
-	out := RenderSearchCompare(geom, rows)
+	out := RenderSearchCompare(geom, nil, rows)
 	if !strings.Contains(out, "Layout search vs greedy") || !strings.Contains(out, "benchmark") {
 		t.Fatalf("render missing headers:\n%s", out)
 	}

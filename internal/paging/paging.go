@@ -6,15 +6,22 @@
 //
 // Two measurements are provided:
 //
-//   - Simulate: demand paging with LRU replacement over a fixed number
-//     of page frames, reporting page faults and the total pages
-//     touched. Because the global layout packs all effective code
-//     together ("when a page is transferred from the secondary memory
-//     to the main memory, all the bytes of that page are likely to be
-//     used"), the optimized layout touches fewer pages and faults
-//     less.
+//   - Simulate / Simulator: demand paging with LRU replacement over a
+//     fixed number of page frames, reporting page faults and the total
+//     pages touched. Simulator is a memtrace.Sink, so traces can
+//     stream through it (icsim -paging tees one next to the cache
+//     simulator); Simulate is the batch wrapper. Because the global
+//     layout packs all effective code together ("when a page is
+//     transferred from the secondary memory to the main memory, all
+//     the bytes of that page are likely to be used"), the optimized
+//     layout touches fewer pages and faults less.
 //   - WorkingSet: Denning's working set — the average number of
-//     distinct pages referenced per window of W instruction fetches.
+//     distinct pages referenced per window of W instruction fetches
+//     (tumbling windows; a partial final window counts).
+//
+// The static twin of Simulate is internal/analysis.AnalyzePages, which
+// brackets the fault count of any run the profile covers without
+// replaying a trace.
 package paging
 
 import (
@@ -43,6 +50,14 @@ func (cfg Config) Validate() error {
 	return nil
 }
 
+// String renders the geometry, e.g. "4096B pages, 8 frames".
+func (cfg Config) String() string {
+	if cfg.Frames == 0 {
+		return fmt.Sprintf("%dB pages, unbounded frames", cfg.PageBytes)
+	}
+	return fmt.Sprintf("%dB pages, %d frames", cfg.PageBytes, cfg.Frames)
+}
+
 // Stats accumulates paging results.
 type Stats struct {
 	// Accesses is the number of instruction fetches.
@@ -62,62 +77,125 @@ func (s Stats) FaultRate() float64 {
 	return float64(s.Faults) / float64(s.Accesses) * 1e6
 }
 
-// Simulate runs demand paging with LRU replacement over tr.
-func Simulate(cfg Config, tr *memtrace.Trace) (Stats, error) {
+// pageShift returns log2(pageBytes). pageBytes must be a validated
+// power of two.
+func pageShift(pageBytes int) uint {
+	s := uint(0)
+	for 1<<s != pageBytes {
+		s++
+	}
+	return s
+}
+
+// pageRange returns the first and last page a run touches. The
+// arithmetic is done in uint64 and the end saturates at the top of the
+// 32-bit address space, so a run overflowing it still touches its last
+// page instead of wrapping to page 0 (mirroring memtrace.Run.WordRange).
+func pageRange(r memtrace.Run, shift uint) (first, last uint32) {
+	end := uint64(r.Addr) + uint64(r.Bytes) - 1
+	if end > 1<<32-1 {
+		end = 1<<32 - 1
+	}
+	return r.Addr >> shift, uint32(end >> shift)
+}
+
+// pageEntry is one resident page's LRU state.
+type pageEntry struct {
+	stamp uint64
+}
+
+// Simulator is a streaming demand-paging simulator with LRU
+// replacement. It implements memtrace.Sink, so a trace can stream
+// through it run by run (optionally teed next to other sinks with
+// memtrace.Tee) in constant memory; Stats reads the running totals at
+// any point.
+type Simulator struct {
+	cfg      Config
+	resident map[uint32]*pageEntry
+	touched  map[uint32]bool
+	clock    uint64
+	shift    uint
+	stats    Stats
+}
+
+// NewSimulator returns a streaming simulator for the given geometry.
+func NewSimulator(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		cfg:      cfg,
+		resident: make(map[uint32]*pageEntry),
+		touched:  make(map[uint32]bool),
+		shift:    pageShift(cfg.PageBytes),
+	}, nil
+}
+
+// Run feeds one fetch run into the simulator (memtrace.Sink).
+func (s *Simulator) Run(r memtrace.Run) {
+	if r.Bytes == 0 {
+		return
+	}
+	s.stats.Accesses += uint64(r.Words())
+	first, last := pageRange(r, s.shift)
+	for p := first; ; p++ {
+		s.clock++
+		s.touched[p] = true
+		if e, ok := s.resident[p]; ok {
+			e.stamp = s.clock
+		} else {
+			s.stats.Faults++
+			if s.cfg.Frames > 0 && len(s.resident) >= s.cfg.Frames {
+				s.evict()
+			}
+			s.resident[p] = &pageEntry{stamp: s.clock}
+		}
+		if p == last {
+			break
+		}
+	}
+}
+
+// evict removes the least recently used resident page.
+func (s *Simulator) evict() {
+	var victim uint32
+	var oldest uint64 = ^uint64(0)
+	//lint:maprange stamps are unique (one clock tick per touch), so the minimum is unique
+	for p, e := range s.resident {
+		if e.stamp < oldest {
+			oldest = e.stamp
+			victim = p
+		}
+	}
+	delete(s.resident, victim)
+}
+
+// Stats returns the running totals.
+func (s *Simulator) Stats() Stats {
+	st := s.stats
+	st.PagesTouched = len(s.touched)
+	return st
+}
+
+// Simulate runs demand paging with LRU replacement over tr (the batch
+// form of Simulator).
+func Simulate(cfg Config, tr *memtrace.Trace) (Stats, error) {
+	sim, err := NewSimulator(cfg)
+	if err != nil {
 		return Stats{}, err
 	}
-	var st Stats
-	type entry struct {
-		stamp uint64
-	}
-	resident := make(map[uint32]*entry)
-	touched := make(map[uint32]bool)
-	var clock uint64
-	pageShift := uint(0)
-	for 1<<pageShift != cfg.PageBytes {
-		pageShift++
-	}
-
-	evict := func() {
-		var victim uint32
-		var oldest uint64 = ^uint64(0)
-		//lint:maprange stamps are unique (one clock tick per touch), so the minimum is unique
-		for p, e := range resident {
-			if e.stamp < oldest {
-				oldest = e.stamp
-				victim = p
-			}
-		}
-		delete(resident, victim)
-	}
-
 	for _, r := range tr.Runs {
-		st.Accesses += uint64(r.Words())
-		first := r.Addr >> pageShift
-		last := (r.Addr + r.Bytes - 1) >> pageShift
-		for p := first; p <= last; p++ {
-			clock++
-			touched[p] = true
-			if e, ok := resident[p]; ok {
-				e.stamp = clock
-				continue
-			}
-			st.Faults++
-			if cfg.Frames > 0 && len(resident) >= cfg.Frames {
-				evict()
-			}
-			resident[p] = &entry{stamp: clock}
-		}
+		sim.Run(r)
 	}
-	st.PagesTouched = len(touched)
-	return st, nil
+	return sim.Stats(), nil
 }
 
 // WorkingSet returns the average number of distinct pages referenced
-// per window of windowInstrs instruction fetches (tumbling windows;
-// partial final window excluded). It returns 0 for traces shorter
-// than one window.
+// per window of windowInstrs instruction fetches (tumbling windows).
+// A partial final window is excluded from the average — except when it
+// is the only window (the trace is shorter than windowInstrs), where
+// the trace's page footprint is the working set; only an empty trace
+// returns 0.
 func WorkingSet(tr *memtrace.Trace, pageBytes int, windowInstrs uint64) (float64, error) {
 	if pageBytes < 64 || pageBytes&(pageBytes-1) != 0 {
 		return 0, fmt.Errorf("paging: page size %d is not a power of two >= 64", pageBytes)
@@ -125,10 +203,7 @@ func WorkingSet(tr *memtrace.Trace, pageBytes int, windowInstrs uint64) (float64
 	if windowInstrs == 0 {
 		return 0, fmt.Errorf("paging: zero window")
 	}
-	pageShift := uint(0)
-	for 1<<pageShift != pageBytes {
-		pageShift++
-	}
+	shift := pageShift(pageBytes)
 
 	window := make(map[uint32]bool)
 	var inWindow uint64
@@ -143,6 +218,9 @@ func WorkingSet(tr *memtrace.Trace, pageBytes int, windowInstrs uint64) (float64
 	}
 
 	for _, r := range tr.Runs {
+		if r.Bytes == 0 {
+			continue
+		}
 		words := uint64(r.Words())
 		// Split the run across window boundaries.
 		addr := r.Addr
@@ -151,8 +229,12 @@ func WorkingSet(tr *memtrace.Trace, pageBytes int, windowInstrs uint64) (float64
 			if take > words {
 				take = words
 			}
-			for p := addr >> pageShift; p <= (addr+uint32(take*4)-1)>>pageShift; p++ {
+			first, last := pageRange(memtrace.Run{Addr: addr, Bytes: uint32(take * 4)}, shift)
+			for p := first; ; p++ {
 				window[p] = true
+				if p == last {
+					break
+				}
 			}
 			addr += uint32(take * 4)
 			words -= take
@@ -161,6 +243,9 @@ func WorkingSet(tr *memtrace.Trace, pageBytes int, windowInstrs uint64) (float64
 				flush()
 			}
 		}
+	}
+	if inWindow > 0 && windows == 0 {
+		flush()
 	}
 	if windows == 0 {
 		return 0, nil

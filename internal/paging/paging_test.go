@@ -130,14 +130,97 @@ func TestWorkingSetSpread(t *testing.T) {
 }
 
 func TestWorkingSetShortTrace(t *testing.T) {
+	// A trace shorter than one window still has a working set: the
+	// partial window counts (16 fetches on one page -> 1 page).
 	var tr memtrace.Trace
 	tr.Run(run(0, 64))
 	ws, err := WorkingSet(&tr, 4096, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ws != 0 {
-		t.Fatalf("working set of sub-window trace = %v, want 0", ws)
+	if ws != 1 {
+		t.Fatalf("working set of sub-window trace = %v, want 1", ws)
+	}
+	if ws, err = WorkingSet(&memtrace.Trace{}, 4096, 1000); err != nil || ws != 0 {
+		t.Fatalf("working set of empty trace = %v, %v, want 0", ws, err)
+	}
+}
+
+func TestWorkingSetPartialFinalWindow(t *testing.T) {
+	// 1000 fetches on page 0, then 500 more spread over pages 1 and 2:
+	// the partial tail is excluded once a full window exists, so the
+	// average is the full window's 1 page.
+	var tr memtrace.Trace
+	tr.Run(run(0, 4000))
+	tr.Run(run(4096, 1000))
+	tr.Run(run(8192, 1000))
+	ws, err := WorkingSet(&tr, 4096, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != 1 {
+		t.Fatalf("working set = %v, want 1 (partial tail excluded)", ws)
+	}
+	// The same tail alone IS the trace: the footprint (2 pages) counts.
+	var tail memtrace.Trace
+	tail.Run(run(4096, 1000))
+	tail.Run(run(8192, 1000))
+	if ws, err = WorkingSet(&tail, 4096, 1000); err != nil || ws != 2 {
+		t.Fatalf("working set of sub-window trace = %v, %v, want 2", ws, err)
+	}
+}
+
+func TestUnboundedFrames(t *testing.T) {
+	// Frames 0: nothing is ever evicted, so every fault is cold and
+	// Faults == PagesTouched no matter how the trace revisits pages.
+	var tr memtrace.Trace
+	for i := 0; i < 50; i++ {
+		tr.Run(run(uint32(i%7)*4096, 4096))
+	}
+	st, err := Simulate(Config{PageBytes: 4096, Frames: 0}, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Faults != uint64(st.PagesTouched) || st.PagesTouched != 7 {
+		t.Fatalf("stats %+v, want 7 cold faults only", st)
+	}
+}
+
+func TestRunAtAddressTop(t *testing.T) {
+	// A run overflowing the 32-bit address space saturates instead of
+	// wrapping: the touch of its last page must not be dropped.
+	var tr memtrace.Trace
+	tr.Run(run(0xFFFFF000, 0x2000))
+	st, err := Simulate(Config{PageBytes: 4096}, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Faults != 1 || st.PagesTouched != 1 {
+		t.Fatalf("stats %+v, want the saturated top page touched once", st)
+	}
+}
+
+func TestSimulatorStreaming(t *testing.T) {
+	// The streaming sink fed run by run matches the batch Simulate.
+	r := xrand.New(7)
+	var tr memtrace.Trace
+	for i := 0; i < 500; i++ {
+		tr.Run(run(uint32(r.Intn(64))*1024, uint32(r.IntRange(1, 64))*4))
+	}
+	cfg := Config{PageBytes: 1024, Frames: 4}
+	want, err := Simulate(cfg, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rn := range tr.Runs {
+		sim.Run(rn)
+	}
+	if got := sim.Stats(); got != want {
+		t.Fatalf("streaming stats %+v != batch %+v", got, want)
 	}
 }
 

@@ -33,6 +33,7 @@ package search
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"impact/internal/analysis"
@@ -42,6 +43,7 @@ import (
 	"impact/internal/ir"
 	"impact/internal/layout"
 	"impact/internal/obs"
+	"impact/internal/paging"
 	"impact/internal/profile"
 	"impact/internal/xrand"
 )
@@ -60,6 +62,24 @@ const (
 type Config struct {
 	// Cache is the geometry the objective is priced against.
 	Cache cache.Config
+	// Paging, when non-nil, adds a page-fault term to the objective:
+	// candidates are additionally priced with the static page-fault
+	// upper bound (analysis.PageEngine) under this geometry, ranked
+	// lexicographically *after* the cache miss upper bound — the
+	// search trades page faults only among candidates equal on cache
+	// misses, so enabling it can never regress the cache objective.
+	// It also enables the page-refinement phase after the climbs (see
+	// PageBudget and Result.PageRefined).
+	Paging *paging.Config
+	// PageBudget caps the candidate evaluations of the page-refinement
+	// phase that runs once after the climbs when Paging is set: the
+	// refiner walks from the winning order — and, with the budget
+	// split, from the input order too — accepting moves that pack the
+	// executed footprint into fewer pages while keeping the static
+	// cache-miss upper bound within the refinement cap (refineSlack
+	// above the worse of the input and winning bounds). Zero means
+	// half of Budget; negative disables refinement.
+	PageBudget int
 	// Seed drives the deterministic RNG; distinct seeds explore
 	// distinct move sequences.
 	Seed uint64
@@ -128,13 +148,44 @@ type Result struct {
 	// Initial is the static analysis of the input order's layout.
 	Initial *analysis.Result
 	// Improved reports whether Order beats the input order on the
-	// lexicographic objective (Upper, TotalExcess, -ExtTSP).
+	// lexicographic objective (Upper, then the page-fault upper bound
+	// when Config.Paging is set, then TotalExcess, -ExtTSP).
 	Improved bool
+	// Pages / InitialPages hold the static page-fault bounds of the
+	// final and the input layout (nil unless Config.Paging was set).
+	Pages, InitialPages *analysis.Bounds
 	// Evals counts candidate evaluations, Accepted the improving
-	// moves kept, Restarts the random restarts taken.
+	// moves kept, Restarts the random restarts taken. Evals includes
+	// the page-refinement phase's evaluations.
 	Evals, Accepted, Restarts int
 	// Checkpoints holds the ground-truth measurements, in eval order.
 	Checkpoints []Checkpoint
+	// PageRefined holds the page-refinement phase's outcome when it
+	// packed the executed footprint into strictly fewer pages than
+	// Layout: an alternative layout whose static page-fault upper
+	// bound is below Pages.Upper while its cache-miss upper bound
+	// stays within the refinement cap (refineSlack above the worse of
+	// the input and winning bounds). The trade is static; callers
+	// adopting the variant should confirm with the simulator that
+	// measured misses do not regress (experiments.SearchCompare gates
+	// adoption on exactly that). Nil when Paging is off, refinement is
+	// disabled, or nothing improved.
+	PageRefined *Refined
+}
+
+// Refined is the page-refinement phase's alternative result: the same
+// program under an order that trades a bounded amount of static
+// cache-miss upper bound for a strictly smaller page-fault upper bound.
+type Refined struct {
+	// Order and Layout are the refined function order and placement.
+	Order  globallayout.Order
+	Layout *layout.Layout
+	// Analysis is the static cache analysis of Layout.
+	Analysis *analysis.Result
+	// Pages is the static page-fault bounds of Layout.
+	Pages analysis.Bounds
+	// Evals counts the refinement phase's candidate evaluations.
+	Evals int
 }
 
 // Compose builds the layout for a function order, exactly as
@@ -168,14 +219,19 @@ func Compose(prog *ir.Program, orders []funclayout.Order, global globallayout.Or
 }
 
 // objective is the lexicographic score of a candidate: first the
-// static miss upper bound, then the conflict report's total excess
-// weight, then (descending) the ext-TSP locality score. The secondary
-// keys break ties the coarse upper bound cannot see, keeping the walk
-// moving across plateaus.
+// static miss upper bound, then (with Config.Paging) the static
+// page-fault upper bound, then the conflict report's total excess
+// weight, then (descending) the ext-TSP locality score. The page term
+// sits strictly below the miss bound so a paging-aware search can
+// never trade cache misses for page faults; the remaining keys break
+// ties the coarse bounds cannot see, keeping the walk moving across
+// plateaus. Without Config.Paging, pageUpper is 0 everywhere and the
+// objective reduces to the cache-only form.
 type objective struct {
-	upper  uint64
-	excess uint64
-	extTSP float64
+	upper     uint64
+	pageUpper uint64
+	excess    uint64
+	extTSP    float64
 }
 
 func objectiveOf(res *analysis.Result) objective {
@@ -190,6 +246,9 @@ func objectiveOf(res *analysis.Result) objective {
 func (o objective) better(p objective) bool {
 	if o.upper != p.upper {
 		return o.upper < p.upper
+	}
+	if o.pageUpper != p.pageUpper {
+		return o.pageUpper < p.pageUpper
 	}
 	if o.excess != p.excess {
 		return o.excess < p.excess
@@ -238,6 +297,17 @@ func Optimize(in Input, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("search: analysing input order: %w", err)
 	}
+	var pages *analysis.PageEngine
+	initObj := objectiveOf(inc.Result())
+	var initPB analysis.Bounds
+	if cfg.Paging != nil {
+		pages, err = analysis.NewPageEngine(baseLay, in.Weights, *cfg.Paging)
+		if err != nil {
+			return nil, fmt.Errorf("search: page-analysing input order: %w", err)
+		}
+		initPB = pages.Bounds(baseLay)
+		initObj.pageUpper = initPB.Upper
+	}
 
 	res := &Result{
 		Order:    globallayout.Order{Funcs: append([]ir.FuncID(nil), in.Global.Funcs...)},
@@ -245,12 +315,13 @@ func Optimize(in Input, cfg Config) (*Result, error) {
 		Analysis: inc.Result(),
 		Initial:  inc.Result(),
 	}
+	if cfg.Paging != nil {
+		res.Pages, res.InitialPages = &initPB, &initPB
+	}
 	n := len(in.Global.Funcs)
 	if n < 2 || cfg.Budget <= 0 {
 		return res, nil
 	}
-
-	initObj := objectiveOf(inc.Result())
 
 	// Split the budget into fixed per-climb allowances. The split is a
 	// pure function of the config — never of scheduling — so every
@@ -290,7 +361,7 @@ func Optimize(in Input, cfg Config) (*Result, error) {
 		// the raw checkpoint callback.
 		p.ckpt = cfg.Checkpoint
 		for k := range results {
-			cr, err := p.climb(k, inc)
+			cr, err := p.climb(k, inc, pages)
 			if err != nil {
 				return nil, fmt.Errorf("search: climb %d: %w", k, err)
 			}
@@ -311,8 +382,13 @@ func Optimize(in Input, cfg Config) (*Result, error) {
 		// change what the climb computes.
 		engines := make([]*analysis.Incremental, workers)
 		engines[0] = inc
+		pageEngines := make([]*analysis.PageEngine, workers)
+		pageEngines[0] = pages
 		for w := 1; w < workers; w++ {
 			engines[w] = inc.Clone()
+			if pages != nil {
+				pageEngines[w] = pages.Clone()
+			}
 		}
 		errs := make([]error, workers)
 		var wg sync.WaitGroup
@@ -320,19 +396,19 @@ func Optimize(in Input, cfg Config) (*Result, error) {
 			lane := reg.NewLane(fmt.Sprintf("search-worker-%d", w))
 			engines[w].SetLane(lane)
 			wg.Add(1)
-			go func(w int, eng *analysis.Incremental, lane obs.Lane) {
+			go func(w int, eng *analysis.Incremental, pe *analysis.PageEngine, lane obs.Lane) {
 				defer wg.Done()
 				span := reg.SpanOn(lane, "search/worker")
 				defer span.End()
 				for k := w; k < climbs; k += workers {
-					cr, err := p.climb(k, eng)
+					cr, err := p.climb(k, eng, pe)
 					if err != nil {
 						errs[w] = fmt.Errorf("search: climb %d: %w", k, err)
 						return
 					}
 					results[k] = cr
 				}
-			}(w, engines[w], lane)
+			}(w, engines[w], pageEngines[w], lane)
 		}
 		wg.Wait()
 		for _, err := range errs {
@@ -356,13 +432,426 @@ func Optimize(in Input, cfg Config) (*Result, error) {
 			res.Order = globallayout.Order{Funcs: cr.order}
 			res.Layout = cr.lay
 			res.Analysis = cr.res
+			if cfg.Paging != nil {
+				pb := cr.pb
+				res.Pages = &pb
+			}
 		}
 	}
 	res.Improved = best.better(initObj)
 	if res.Improved {
 		reg.Counter("search.improved").Inc()
 	}
+	if cfg.Paging != nil {
+		pageBudget := cfg.PageBudget
+		if pageBudget == 0 {
+			pageBudget = cfg.Budget / 2
+		}
+		if pageBudget > 0 && res.Pages != nil && res.Pages.Upper > 1 {
+			// Refine from the winner and, when it differs, from the
+			// input (greedy) order too: the winner has the best static
+			// cache bound, but the greedy order is the basin the
+			// caller's measured-miss gate compares against — a
+			// page-freeing walk started there often measures better.
+			froms := []*Result{res}
+			budgets := []int{pageBudget}
+			if !sameOrder(res.Order.Funcs, in.Global.Funcs) {
+				froms = append(froms, &Result{
+					Order:    globallayout.Order{Funcs: append([]ir.FuncID(nil), in.Global.Funcs...)},
+					Layout:   baseLay,
+					Analysis: res.Initial,
+					Initial:  res.Initial,
+				})
+				budgets = []int{pageBudget - pageBudget/2, pageBudget / 2}
+			}
+			var ref *Refined
+			refMisses := ^uint64(0)
+			for i, from := range froms {
+				r, m, evals, err := pageRefine(in, cfg, inc, pages, from, budgets[i])
+				if err != nil {
+					return nil, fmt.Errorf("search: page refinement: %w", err)
+				}
+				res.Evals += evals
+				// A greedy-start refinement beats the greedy page bound
+				// by construction, but the contract is strictly fewer
+				// pages than the emitted Layout — drop variants the
+				// winner already matches.
+				if r == nil || r.Pages.Upper >= res.Pages.Upper {
+					continue
+				}
+				if ref == nil || r.Pages.Upper < ref.Pages.Upper ||
+					(r.Pages.Upper == ref.Pages.Upper && m < refMisses) {
+					ref, refMisses = r, m
+				}
+			}
+			res.PageRefined = ref
+			if ref != nil {
+				reg.Counter("search.page_improved").Inc()
+			}
+		}
+	}
 	return res, nil
+}
+
+// refineSlack is the fractional static cache-upper headroom the
+// page-refinement phase may spend over max(input order, winner): the
+// relocations that free pages shift every hot address, and the loose
+// static bound can move several percent on layouts whose measured
+// misses are unchanged. The cap is only a coarse guard against
+// wandering into clearly worse-cache territory — the emitted variant
+// is separately gated on measured misses by the caller, which is
+// where the no-regression guarantee actually lives.
+const refineSlack = 0.05
+
+// pageRefine hill-climbs the page packing of the winning order: moves
+// are accepted when they strictly reduce the static page-fault upper
+// bound, or tighten the executed-byte packing (PageEngine.Pack) at an
+// equal bound, while the static cache-miss upper bound stays within
+// the refinement cap (see refineSlack). Proposals are biased toward the
+// mechanism that actually frees pages — relocating functions whose
+// effective (training-hot) region is never executed under the search
+// weights, so their hole bytes stop pinning otherwise-cold pages. The
+// walk is a pure function of (in, cfg, from); it returns nil when no
+// candidate beat the winner's page bound.
+func pageRefine(in Input, cfg Config, eng *analysis.Incremental, pe *analysis.PageEngine, from *Result, budget int) (*Refined, uint64, int, error) {
+	reg := cfg.Obs
+	rng := xrand.New(xrand.Seed(cfg.Seed, 0x9a6e5, 0))
+
+	cur := append([]ir.FuncID(nil), from.Order.Funcs...)
+	curRes, err := eng.Update(from.Layout)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("repositioning at winner: %w", err)
+	}
+	base := from.Initial.Bounds.Upper
+	if from.Analysis.Bounds.Upper > base {
+		base = from.Analysis.Bounds.Upper
+	}
+	slackCap := base + uint64(float64(base)*refineSlack)
+	curPB := pe.Bounds(from.Layout)
+	curPack := pe.Pack(from.Layout)
+	curLay := from.Layout
+	startUpper := curPB.Upper
+
+	holes := holeFuncs(in)
+	// Deterministic macro-seeds before the stochastic walk: freeing a
+	// page usually needs every fully-cold function out of the way at
+	// once — a plateau no single-function move can cross — so the first
+	// candidates sink them all to the back in one step, optionally with
+	// the largest cold-tail function placed last among the executed
+	// ones (its trailing holes then merge into the sunk block), and
+	// optionally with the functions whose cold-section blocks are
+	// executed pulled to the front (their cold regions then pack at the
+	// cold section's head instead of pinning deep cold pages).
+	seeds := [][]ir.FuncID{coldSink(cur, holes, -1, nil)}
+	bestTail := ir.FuncID(-1)
+	tail := 0
+	for _, h := range holes {
+		if !h.full && h.tail > tail {
+			bestTail, tail = h.f, h.tail
+		}
+	}
+	if bestTail >= 0 {
+		seeds = append(seeds, coldSink(cur, holes, bestTail, nil))
+	}
+	if front := coldExecFront(in); len(front) > 0 {
+		ft := bestTail
+		for _, f := range front {
+			if f == ft {
+				ft = -1
+			}
+		}
+		seeds = append(seeds, coldSink(cur, holes, ft, front))
+	}
+	// With a Checkpoint the phase emits the measured-best accepted
+	// state rather than the endpoint: the static cache bound is loose,
+	// and the caller adopts on measured misses — an intermediate state
+	// of the repair walk is often the one that clears that gate.
+	// Accepts are rare, so pricing each with the simulator is cheap.
+	type refState struct {
+		order  []ir.FuncID
+		misses uint64
+		pages  uint64
+	}
+	var best *refState
+	note := func(order []ir.FuncID, lay *layout.Layout, pages uint64) error {
+		if cfg.Checkpoint == nil || pages >= startUpper {
+			return nil
+		}
+		m, err := cfg.Checkpoint(lay)
+		if err != nil {
+			return err
+		}
+		if best == nil || pages < best.pages || (pages == best.pages && m < best.misses) {
+			best = &refState{order: order, misses: m, pages: pages}
+		}
+		return nil
+	}
+	evals := 0
+	for evals < budget {
+		var cand []ir.FuncID
+		switch {
+		case len(seeds) > 0:
+			cand, seeds = seeds[0], seeds[1:]
+		case curPB.Upper < startUpper:
+			// A page is already freed: spend the rest of the budget on
+			// conflict-biased cache repair (the acceptance rule keeps
+			// the page win; a repair move that frees another page is
+			// still taken).
+			cand = propose(cur, curRes.Conflicts.Pairs, rng)
+		default:
+			cand = proposePack(cur, holes, rng)
+		}
+		lay, err := Compose(in.Prog, in.Orders, globallayout.Order{Funcs: cand}, in.SplitCold)
+		if err != nil {
+			return nil, 0, evals, fmt.Errorf("composing candidate: %w", err)
+		}
+		cres, err := eng.Update(lay)
+		if err != nil {
+			return nil, 0, evals, fmt.Errorf("analysing candidate: %w", err)
+		}
+		evals++
+		reg.Counter("search.page_evals").Inc()
+		pb := pe.Bounds(lay)
+		pack := pe.Pack(lay)
+		// Lexicographic within the phase: fewer static page faults
+		// first; at an equal bound, a lower static cache upper (the
+		// macro-seeds spend cache headroom freeing pages — the rest of
+		// the budget wins it back, which is what lets the caller's
+		// measured-miss gate adopt the variant); at equal cache, a
+		// tighter packing, the gradient toward the next whole-page drop.
+		better := pb.Upper < curPB.Upper ||
+			(pb.Upper == curPB.Upper &&
+				(cres.Bounds.Upper < curRes.Bounds.Upper ||
+					(cres.Bounds.Upper <= curRes.Bounds.Upper && pack > curPack)))
+		ok := cres.Bounds.Upper <= slackCap && better
+		if !ok {
+			if cres.Bounds.Upper > slackCap {
+				reg.Counter("search.page_reject_cache").Inc()
+			} else {
+				reg.Counter("search.page_reject_pack").Inc()
+			}
+			if err := eng.Revert(); err != nil {
+				return nil, 0, evals, fmt.Errorf("reverting rejected candidate: %w", err)
+			}
+			continue
+		}
+		cur = cand
+		curLay, curRes, curPB, curPack = lay, cres, pb, pack
+		reg.Counter("search.page_accepted").Inc()
+		if err := note(cand, lay, pb.Upper); err != nil {
+			return nil, 0, evals, fmt.Errorf("checkpointing accepted candidate: %w", err)
+		}
+	}
+	if best != nil && !sameOrder(best.order, cur) {
+		lay, err := Compose(in.Prog, in.Orders, globallayout.Order{Funcs: best.order}, in.SplitCold)
+		if err != nil {
+			return nil, 0, evals, fmt.Errorf("recomposing best state: %w", err)
+		}
+		cres, err := eng.Update(lay)
+		if err != nil {
+			return nil, 0, evals, fmt.Errorf("re-analysing best state: %w", err)
+		}
+		cur, curLay, curRes, curPB = best.order, lay, cres, pe.Bounds(lay)
+	}
+	if curPB.Upper >= startUpper {
+		return nil, 0, evals, nil
+	}
+	misses := ^uint64(0)
+	if best != nil && sameOrder(best.order, cur) {
+		misses = best.misses
+	}
+	return &Refined{
+		Order:    globallayout.Order{Funcs: cur},
+		Layout:   curLay,
+		Analysis: curRes,
+		Pages:    curPB,
+		Evals:    evals,
+	}, misses, evals, nil
+}
+
+// sameOrder reports whether two function orders are identical.
+func sameOrder(a, b []ir.FuncID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// holeFunc ranks one function for the page-refinement proposals.
+type holeFunc struct {
+	f ir.FuncID
+	// bytes counts the function's hole bytes: effective-region bytes
+	// whose blocks have zero weight under the search weights (placed
+	// hot by the training profile, never executed here).
+	bytes int
+	// full marks functions whose entire effective region is holes —
+	// relocating them moves pure dead weight, the cheapest page to free.
+	full bool
+	// tail counts the hole bytes in the function's trailing run of
+	// zero-weight effective blocks: placing the function last among the
+	// executed ones merges that tail into the trailing cold region.
+	tail int
+}
+
+// maxHoleFuncs bounds the proposal pool; functions below this rank
+// carry too few hole bytes to free a page.
+const maxHoleFuncs = 24
+
+// holeFuncs returns the functions with any hole bytes, fully-cold
+// functions first, then by hole bytes descending.
+func holeFuncs(in Input) []holeFunc {
+	var hs []holeFunc
+	for fi := range in.Prog.Funcs {
+		f := ir.FuncID(fi)
+		o := &in.Orders[f]
+		var hole, eff, tail int
+		for _, b := range o.Blocks[:o.EffectiveBlocks] {
+			n := in.Prog.Funcs[f].Blocks[b].Bytes()
+			eff += n
+			if in.Weights.BlockWeight(f, b) == 0 {
+				hole += n
+				tail += n
+			} else {
+				tail = 0
+			}
+		}
+		if hole > 0 {
+			hs = append(hs, holeFunc{f: f, bytes: hole, full: hole == eff, tail: tail})
+		}
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].full != hs[j].full {
+			return hs[i].full
+		}
+		if hs[i].bytes != hs[j].bytes {
+			return hs[i].bytes > hs[j].bytes
+		}
+		return hs[i].f < hs[j].f
+	})
+	if len(hs) > maxHoleFuncs {
+		hs = hs[:maxHoleFuncs]
+	}
+	return hs
+}
+
+// coldSink returns cur with every fully-cold hole function moved to
+// the back of the order in one step, preserving relative order. When
+// tail is a valid function it is additionally placed last among the
+// remaining (executed) functions, so its trailing cold blocks merge
+// into the sunk region; the front functions, when given, are pulled
+// to the very front in the given order. Freeing a whole page
+// typically needs all the dead weight out of the way at once;
+// single-function moves cannot cross that plateau within the
+// refinement budget.
+func coldSink(cur []ir.FuncID, holes []holeFunc, tail ir.FuncID, front []ir.FuncID) []ir.FuncID {
+	sink := make(map[ir.FuncID]bool, len(holes))
+	for _, h := range holes {
+		if h.full {
+			sink[h.f] = true
+		}
+	}
+	lead := make(map[ir.FuncID]bool, len(front))
+	for _, f := range front {
+		lead[f] = true
+	}
+	cand := make([]ir.FuncID, 0, len(cur))
+	cand = append(cand, front...)
+	var sunk []ir.FuncID
+	tailSeen := false
+	for _, f := range cur {
+		switch {
+		case lead[f]:
+		case sink[f]:
+			sunk = append(sunk, f)
+		case f == tail:
+			tailSeen = true
+		default:
+			cand = append(cand, f)
+		}
+	}
+	if tailSeen {
+		cand = append(cand, tail)
+	}
+	return append(cand, sunk...)
+}
+
+// coldExecFront returns the functions with executed (nonzero-weight)
+// blocks in their cold region — training-cold code this run does
+// reach. With SplitCold composition the cold section follows the
+// global order, so placing these functions first packs their cold
+// regions at the cold section's head; the function with the most
+// unexecuted cold bytes after its last executed one goes last in the
+// group, keeping the executed cold span as short as possible.
+func coldExecFront(in Input) []ir.FuncID {
+	type cf struct {
+		f    ir.FuncID
+		save int // cold bytes after the last executed cold byte
+	}
+	var cs []cf
+	for fi := range in.Prog.Funcs {
+		f := ir.FuncID(fi)
+		o := &in.Orders[f]
+		bytes, lastExec := 0, -1
+		for _, b := range o.Blocks[o.EffectiveBlocks:] {
+			bytes += in.Prog.Funcs[f].Blocks[b].Bytes()
+			if in.Weights.BlockWeight(f, b) != 0 {
+				lastExec = bytes
+			}
+		}
+		if lastExec >= 0 {
+			cs = append(cs, cf{f: f, save: bytes - lastExec})
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].save != cs[j].save {
+			return cs[i].save < cs[j].save
+		}
+		return cs[i].f < cs[j].f
+	})
+	fs := make([]ir.FuncID, len(cs))
+	for i, c := range cs {
+		fs[i] = c.f
+	}
+	return fs
+}
+
+// proposePack returns a refinement candidate. With hole functions
+// available, two thirds of the moves target them — sending one to the
+// back of the order (its holes merge with the trailing non-executed
+// region, pulling the last executed byte forward) or pulling two
+// together (their holes coalesce toward a whole untouched page) — and
+// the rest are propose's unbiased moves to keep the walk ergodic.
+func proposePack(cur []ir.FuncID, holes []holeFunc, rng *xrand.RNG) []ir.FuncID {
+	if len(holes) > 0 {
+		switch rng.Intn(3) {
+		case 0:
+			h := holes[rng.Intn(len(holes))]
+			cand := make([]ir.FuncID, 0, len(cur))
+			for _, f := range cur {
+				if f != h.f {
+					cand = append(cand, f)
+				}
+			}
+			return append(cand, h.f)
+		case 1:
+			if len(holes) >= 2 {
+				i := rng.Intn(len(holes))
+				j := rng.Intn(len(holes) - 1)
+				if j >= i {
+					j++
+				}
+				cand := append([]ir.FuncID(nil), cur...)
+				moveAfter(cand, holes[i].f, holes[j].f)
+				return cand
+			}
+		}
+	}
+	return propose(cur, nil, rng)
 }
 
 // portfolio is the read-only state every climb shares.
@@ -378,13 +867,15 @@ type portfolio struct {
 }
 
 // climbResult is one climb's contribution to the reduction. order is
-// nil when the climb never beat the input order.
+// nil when the climb never beat the input order; pb is the best
+// candidate's page-fault bounds (zero unless Config.Paging is set).
 type climbResult struct {
 	evals, accepted int
 	obj             objective
 	order           []ir.FuncID
 	lay             *layout.Layout
 	res             *analysis.Result
+	pb              analysis.Bounds
 	checkpoints     []Checkpoint
 }
 
@@ -394,12 +885,25 @@ type climbResult struct {
 // 0 for free — eng must already sit at the input layout, which holds
 // for the base engine and every fresh clone — and later climbs via a
 // two-swap kick that costs one eval and repositions a reused engine).
-func (p *portfolio) climb(k int, eng *analysis.Incremental) (*climbResult, error) {
+func (p *portfolio) climb(k int, eng *analysis.Incremental, pe *analysis.PageEngine) (*climbResult, error) {
 	reg := p.cfg.Obs
 	rng := xrand.New(xrand.Seed(p.cfg.Seed, 0x5ea6c4, uint64(k)))
 	cr := &climbResult{obj: p.initObj}
 	cur := append([]ir.FuncID(nil), p.in.Global.Funcs...)
 	curObj := p.initObj
+	// price scores a candidate layout: the incremental cache objective
+	// plus, when the paging term is on, the page-fault upper bound
+	// from a full (but page-granular, hence tiny) re-solve. The page
+	// engine is stateless across candidates — no revert needed.
+	price := func(cres *analysis.Result, lay *layout.Layout) (objective, analysis.Bounds) {
+		obj := objectiveOf(cres)
+		var pb analysis.Bounds
+		if pe != nil {
+			pb = pe.Bounds(lay)
+			obj.pageUpper = pb.Upper
+		}
+		return obj, pb
+	}
 	if k > 0 {
 		reg.Counter("search.restarts").Inc()
 		for s := 0; s < 2; s++ {
@@ -415,7 +919,7 @@ func (p *portfolio) climb(k int, eng *analysis.Incremental) (*climbResult, error
 			return nil, fmt.Errorf("analysing restart order: %w", err)
 		}
 		cr.evals++
-		curObj = objectiveOf(kicked)
+		curObj, _ = price(kicked, lay)
 	}
 	for cr.evals < p.alloc[k] {
 		cand := propose(cur, eng.Result().Conflicts.Pairs, rng)
@@ -429,7 +933,7 @@ func (p *portfolio) climb(k int, eng *analysis.Incremental) (*climbResult, error
 		}
 		cr.evals++
 		reg.Counter("search.evals").Inc()
-		obj := objectiveOf(cres)
+		obj, pb := price(cres, lay)
 		if !obj.better(curObj) {
 			if err := eng.Revert(); err != nil {
 				return nil, fmt.Errorf("reverting rejected candidate: %w", err)
@@ -444,6 +948,7 @@ func (p *portfolio) climb(k int, eng *analysis.Incremental) (*climbResult, error
 			cr.order = append([]ir.FuncID(nil), cand...)
 			cr.lay = lay
 			cr.res = cres
+			cr.pb = pb
 		}
 		if p.ckpt != nil && p.cfg.CheckpointEvery > 0 && cr.accepted%p.cfg.CheckpointEvery == 0 {
 			incumbent := cr.lay

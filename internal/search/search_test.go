@@ -11,6 +11,7 @@ import (
 	"impact/internal/core"
 	"impact/internal/interp"
 	"impact/internal/layout"
+	"impact/internal/paging"
 	"impact/internal/profile"
 	"impact/internal/search"
 	"impact/internal/workload"
@@ -327,4 +328,143 @@ func FuzzSearchWorkers(f *testing.F) {
 				cfg.Workers, seed, base.Budget, base.Restarts)
 		}
 	})
+}
+
+// TestOptimizePagingObjective: with Config.Paging set the search adds
+// the page-fault upper bound as a tie-break below the cache objective:
+// the cache-miss objective can never regress, the page bounds of the
+// input and final layouts are reported, and the worker count stays
+// invisible in the result.
+func TestOptimizePagingObjective(t *testing.T) {
+	_, in := prepared(t, 5)
+	pcfg := paging.Config{PageBytes: 4096, Frames: 8}
+	cfg := search.Config{
+		Cache: tightGeom, Paging: &pcfg, Seed: 7, Budget: 60, Restarts: 4, Workers: 1,
+	}
+	res, err := search.Optimize(in, cfg)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Pages == nil || res.InitialPages == nil {
+		t.Fatalf("paging objective reported no page bounds: %+v", res)
+	}
+	if res.Analysis.Bounds.Upper > res.Initial.Bounds.Upper {
+		t.Fatalf("cache objective regressed: %d > %d", res.Analysis.Bounds.Upper, res.Initial.Bounds.Upper)
+	}
+	if res.Analysis.Bounds.Upper == res.Initial.Bounds.Upper && res.Pages.Upper > res.InitialPages.Upper {
+		t.Fatalf("page objective regressed on a cache plateau: %d > %d", res.Pages.Upper, res.InitialPages.Upper)
+	}
+	// The reported page bounds must be exactly what a fresh analysis
+	// of the final layout computes.
+	fresh, err := analysis.AnalyzePages(res.Layout, in.Weights, analysis.PageConfig{Paging: pcfg})
+	if err != nil {
+		t.Fatalf("AnalyzePages: %v", err)
+	}
+	if *res.Pages != fresh.Bounds {
+		t.Fatalf("reported page bounds %+v != fresh analysis %+v", *res.Pages, fresh.Bounds)
+	}
+
+	for _, w := range []int{2, 4} {
+		pcfg := cfg
+		pcfg.Workers = w
+		got, err := search.Optimize(in, pcfg)
+		if err != nil {
+			t.Fatalf("Optimize(workers=%d): %v", w, err)
+		}
+		if !reflect.DeepEqual(res.Order, got.Order) || *got.Pages != *res.Pages {
+			t.Fatalf("workers=%d changed the paging-objective result", w)
+		}
+	}
+
+	// Without Config.Paging no page bounds are computed.
+	plain, err := search.Optimize(in, search.Config{Cache: tightGeom, Seed: 7, Budget: 12, Workers: 1})
+	if err != nil {
+		t.Fatalf("Optimize(plain): %v", err)
+	}
+	if plain.Pages != nil || plain.InitialPages != nil {
+		t.Fatalf("cache-only search reported page bounds")
+	}
+	if plain.PageRefined != nil {
+		t.Fatalf("cache-only search emitted a page-refined variant")
+	}
+}
+
+// TestPageRefine: the page-refinement phase is deterministic, never
+// fires when disabled, and any variant it emits has a strictly lower
+// static page-fault bound than the winner, a cache bound within the
+// refinement cap, and bounds that match a from-scratch analysis of
+// its layout. Evaluating under weights from a run the training
+// profile never saw gives the refiner the train-hot/eval-cold holes
+// it relocates.
+func TestPageRefine(t *testing.T) {
+	res, in := prepared(t, 5)
+	ew, _, err := profile.Profile(res.Prog, profile.Config{
+		Seeds: []uint64{777}, Interp: interp.Config{MaxSteps: 1 << 19},
+	})
+	if err != nil {
+		t.Fatalf("profiling eval run: %v", err)
+	}
+	in.Weights = ew
+	pcfg := paging.Config{PageBytes: 1024, Frames: 4}
+	cfg := search.Config{Cache: tightGeom, Paging: &pcfg, Seed: 3, Budget: 96, Workers: 1}
+	a, err := search.Optimize(in, cfg)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	b, err := search.Optimize(in, cfg)
+	if err != nil {
+		t.Fatalf("Optimize (repeat): %v", err)
+	}
+	if !reflect.DeepEqual(a.Order, b.Order) {
+		t.Fatalf("same seed, different orders")
+	}
+	if (a.PageRefined == nil) != (b.PageRefined == nil) {
+		t.Fatalf("same seed, refinement fired on one run only")
+	}
+	if a.PageRefined != nil && !reflect.DeepEqual(a.PageRefined.Order, b.PageRefined.Order) {
+		t.Fatalf("same seed, different refined orders")
+	}
+
+	if ref := a.PageRefined; ref != nil {
+		if ref.Pages.Upper >= a.Pages.Upper {
+			t.Fatalf("refined page upper %d not below winner's %d", ref.Pages.Upper, a.Pages.Upper)
+		}
+		base := a.Initial.Bounds.Upper
+		if a.Analysis.Bounds.Upper > base {
+			base = a.Analysis.Bounds.Upper
+		}
+		if cap := base + base/20; ref.Analysis.Bounds.Upper > cap {
+			t.Fatalf("refined cache upper %d above the refinement cap %d", ref.Analysis.Bounds.Upper, cap)
+		}
+		freshP, err := analysis.AnalyzePages(ref.Layout, in.Weights, analysis.PageConfig{Paging: pcfg})
+		if err != nil {
+			t.Fatalf("AnalyzePages(refined): %v", err)
+		}
+		if ref.Pages != freshP.Bounds {
+			t.Fatalf("refined page bounds %+v != fresh analysis %+v", ref.Pages, freshP.Bounds)
+		}
+		freshC, err := analysis.Analyze(ref.Layout, in.Weights, analysis.Config{Cache: tightGeom})
+		if err != nil {
+			t.Fatalf("Analyze(refined): %v", err)
+		}
+		if ref.Analysis.Bounds != freshC.Bounds {
+			t.Fatalf("refined cache bounds %+v != fresh analysis %+v", ref.Analysis.Bounds, freshC.Bounds)
+		}
+	} else {
+		// This workload/geometry is a regression anchor: the eval run
+		// skips enough train-hot code that the cold-sink macro frees a
+		// page — if that stops happening, the refiner broke.
+		t.Fatal("refinement found nothing on this workload")
+	}
+
+	// A negative PageBudget disables the phase outright.
+	off := cfg
+	off.PageBudget = -1
+	c, err := search.Optimize(in, off)
+	if err != nil {
+		t.Fatalf("Optimize(PageBudget=-1): %v", err)
+	}
+	if c.PageRefined != nil {
+		t.Fatalf("PageBudget=-1 still emitted a refined variant")
+	}
 }

@@ -33,7 +33,8 @@
 # wall-clock seconds of the whole `go test -bench` invocation
 # (wall_seconds, which includes the one-time suite preparation). The
 # default pattern covers the table benchmarks, the BenchmarkAnalyze
-# pair (static analyzer priced against the trace-driven simulator), and
+# family (static analyzer priced against the trace-driven simulator,
+# incremental re-analysis, and the page-level BenchmarkAnalyzePages), and
 # the streaming pair (BenchmarkStreamSimulate: generate-and-simulate
 # with no materialized trace; BenchmarkShardSimulate: the set-sharded
 # simulator), and the multi-core pair (BenchmarkStackPassSharded: the

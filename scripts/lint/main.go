@@ -1,5 +1,5 @@
 // Command lint is the repository's stdlib-only source linter, run in
-// CI next to gofmt and go vet. It enforces four local conventions:
+// CI next to gofmt and go vet. It enforces five local conventions:
 //
 //   - fmt.Print/Printf/Println are forbidden outside cmd/, examples/,
 //     scripts/, and test files: library packages report through
@@ -8,6 +8,11 @@
 //     carry a doc comment: the verifier is the repo's specification of
 //     pipeline invariants, and an undocumented invariant is no
 //     specification at all.
+//   - the same doc-comment rule covers internal/analysis and
+//     internal/paging — including exported constants and variables:
+//     the analyzer's bounds and the paging model are the claims the
+//     differential tests certify, so every exported identifier states
+//     what it guarantees.
 //   - `for range` over a map is forbidden in non-test internal/ code
 //     unless the site sorts its keys or carries a
 //     //lint:maprange <reason> waiver declaring it order-insensitive:
@@ -87,9 +92,16 @@ func printAllowed(rel string) bool {
 }
 
 // docRequired reports whether exported declarations in this file must
-// have doc comments.
+// have doc comments. internal/check is the pipeline's invariant
+// specification; internal/analysis and internal/paging carry the
+// bound guarantees the differential tests certify.
 func docRequired(rel string) bool {
-	return strings.HasPrefix(rel, "internal/check/") && !strings.HasSuffix(rel, "_test.go")
+	if strings.HasSuffix(rel, "_test.go") {
+		return false
+	}
+	return strings.HasPrefix(rel, "internal/check/") ||
+		strings.HasPrefix(rel, "internal/analysis/") ||
+		strings.HasPrefix(rel, "internal/paging/")
 }
 
 func lintFile(root, rel string) []string {
@@ -143,16 +155,28 @@ func lintFile(root, rel string) []string {
 					report(d.Pos(), "exported %s %s has no doc comment", declKind(d), d.Name.Name)
 				}
 			case *ast.GenDecl:
-				if d.Tok != token.TYPE {
-					continue
-				}
 				for _, spec := range d.Specs {
-					ts, ok := spec.(*ast.TypeSpec)
-					if !ok || !ts.Name.IsExported() {
-						continue
-					}
-					if d.Doc == nil && ts.Doc == nil {
-						report(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+					switch ts := spec.(type) {
+					case *ast.TypeSpec:
+						if !ts.Name.IsExported() {
+							continue
+						}
+						if d.Doc == nil && ts.Doc == nil {
+							report(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+						}
+					case *ast.ValueSpec:
+						// A doc comment on the const/var block covers
+						// every spec in it; a per-spec doc or trailing
+						// line comment covers that spec alone.
+						if d.Doc != nil || ts.Doc != nil || ts.Comment != nil {
+							continue
+						}
+						for _, n := range ts.Names {
+							if n.IsExported() {
+								report(n.Pos(), "exported %s %s has no doc comment",
+									strings.ToLower(d.Tok.String()), n.Name)
+							}
+						}
 					}
 				}
 			}
